@@ -1,0 +1,86 @@
+// Command response-analyze regenerates the paper's §3 trace analytics:
+// Figure 1a (traffic deviation CCDF), Figure 1b (recomputation rate),
+// Figure 2a (configuration dominance) and Figure 2b (energy-critical
+// path coverage).
+//
+// Usage:
+//
+//	response-analyze -fig 1a|1b|2a|2b|all [-days N] [-stride N] [-csv file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"response/internal/experiments"
+	"response/internal/trace"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 1a, 1b, 2a, 2b or all")
+	days := flag.Int("days", 4, "trace length in days (paper: 15 for GÉANT, 8 for the DC)")
+	stride := flag.Int("stride", 2, "interval sub-sampling stride for replays")
+	csv := flag.String("csv", "", "also write raw curve data as CSV to this file")
+	flag.Parse()
+
+	switch *fig {
+	case "1a":
+		res := experiments.RunFig1a(*days)
+		res.Print(os.Stdout)
+		if *csv != "" {
+			writeCSV(*csv, func(f *os.File) error {
+				return trace.WritePoints(f, "change_pct", "ccdf", res.CCDF)
+			})
+		}
+	case "1b":
+		res, err := experiments.RunFig1b(*days, *stride)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res.Print(os.Stdout)
+	case "2a":
+		res, err := experiments.RunFig1b(*days, *stride)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res.PrintFig2a(os.Stdout)
+	case "2b":
+		res, err := experiments.RunFig2b(*days, *stride, 2, 12)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res.Print(os.Stdout)
+	case "all":
+		experiments.RunFig1a(*days).Print(os.Stdout)
+		fmt.Println()
+		fb, err := experiments.RunFig1b(*days, *stride)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fb.Print(os.Stdout)
+		fmt.Println()
+		fb.PrintFig2a(os.Stdout)
+		fmt.Println()
+		f2b, err := experiments.RunFig2b(*days, *stride, 2, 12)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f2b.Print(os.Stdout)
+	default:
+		log.Fatalf("unknown figure %q", *fig)
+	}
+}
+
+func writeCSV(path string, fn func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := fn(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote", path)
+}

@@ -1,0 +1,106 @@
+// Command response-paths precomputes and prints the REsPoNse routing
+// tables for a topology: the always-on, on-demand and failover paths of
+// every origin-destination pair, plus the always-on element set and
+// tunnel accounting relevant to deployment (§4.5).
+//
+// Usage:
+//
+//	response-paths -topo geant|abovenet|genuity|pop-access|fattree4|fig3
+//	               [-n 3] [-beta 0] [-mode stress|ospf|heuristic] [-pairs 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"response/internal/core"
+	"response/internal/mcf"
+	"response/internal/power"
+	"response/internal/topo"
+	"response/internal/traffic"
+)
+
+func main() {
+	name := flag.String("topo", "geant", "topology: geant, abovenet, genuity, pop-access, fattree4, fig3")
+	n := flag.Int("n", 3, "number of energy-critical paths per pair")
+	beta := flag.Float64("beta", 0, "latency bound β (>0 enables REsPoNse-lat)")
+	mode := flag.String("mode", "stress", "on-demand mode: stress, ospf, heuristic")
+	showPairs := flag.Int("pairs", 5, "number of pairs to print in full")
+	flag.Parse()
+
+	t, err := buildTopo(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := power.Cisco12000{}
+	opts := core.PlanOpts{Model: model, N: *n, Beta: *beta}
+	switch *mode {
+	case "stress":
+		opts.Mode = core.ModeStress
+	case "ospf":
+		opts.Mode = core.ModeOSPF
+	case "heuristic":
+		opts.Mode = core.ModeHeuristic
+		base := traffic.Gravity(t, traffic.GravityOpts{TotalRate: 1})
+		scale := mcf.MaxFeasibleScale(t, base, mcf.RouteOpts{}, 0.02)
+		opts.PeakTM = base.Scale(scale * 0.9)
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+
+	tables, err := core.Plan(t, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("topology: %s\nvariant:  %s\n", t, tables.Variant)
+	r, l := tables.AlwaysOnSet.CountOn()
+	fmt.Printf("always-on set: %d/%d routers, %d/%d links\n",
+		r, t.NumNodes(), l, t.NumLinks())
+	fmt.Printf("installed tunnels: %d total, max %d per node (2005-era budget: ≈600)\n",
+		tables.TunnelCount(), tables.MaxTunnelsPerNode())
+	full := power.FullWatts(t, model)
+	aon := power.NetworkWatts(t, model, tables.AlwaysOnSet)
+	fmt.Printf("power: full %.1f kW, always-on set %.1f kW (%.0f%%)\n\n",
+		full/1000, aon/1000, 100*aon/full)
+
+	keys := tables.PairKeys()
+	for i, k := range keys {
+		if i >= *showPairs {
+			fmt.Printf("... %d more pairs\n", len(keys)-i)
+			break
+		}
+		ps := tables.Pairs[k]
+		fmt.Printf("%s -> %s\n", t.Node(k[0]).Name, t.Node(k[1]).Name)
+		fmt.Printf("  always-on: %s (%.1f ms)\n",
+			ps.AlwaysOn.Format(t), ps.AlwaysOn.Latency(t)*1000)
+		for j, p := range ps.OnDemand {
+			fmt.Printf("  on-demand[%d]: %s (%.1f ms)\n", j, p.Format(t), p.Latency(t)*1000)
+		}
+		fmt.Printf("  failover: %s (%.1f ms, %d shared links with always-on)\n",
+			ps.Failover.Format(t), ps.Failover.Latency(t)*1000,
+			ps.Failover.SharedLinks(t, ps.AlwaysOn))
+	}
+}
+
+func buildTopo(name string) (*topo.Topology, error) {
+	switch name {
+	case "geant":
+		return topo.NewGeant(), nil
+	case "abovenet":
+		return topo.NewAbovenet(), nil
+	case "genuity":
+		return topo.NewGenuity(), nil
+	case "pop-access":
+		return topo.NewPopAccess(topo.PopAccessOpts{}).Topology, nil
+	case "fattree4":
+		ft, err := topo.NewFatTree(4, topo.FatTreeOpts{WithHosts: true})
+		if err != nil {
+			return nil, err
+		}
+		return ft.Topology, nil
+	case "fig3":
+		return topo.NewExample(topo.ExampleOpts{}).Topology, nil
+	}
+	return nil, fmt.Errorf("unknown topology %q", name)
+}

@@ -1,0 +1,68 @@
+// Command response-sim runs the paper's dynamic experiments in the
+// event-driven simulator: Figure 4 (fat-tree sine wave), Figure 7
+// (Click-testbed failover), Figures 8a/8b (ns-2-style adaptation) and
+// Figure 9 (streaming application impact), plus the web workload table.
+//
+// Usage:
+//
+//	response-sim -fig 4|7|8a|8b|9|web|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"response/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "experiment: 4, 7, 8a, 8b, 9, web or all")
+	flag.Parse()
+
+	run := func(name string) {
+		switch name {
+		case "4":
+			res, err := experiments.RunFig4(20)
+			fail(err)
+			res.Print(os.Stdout)
+		case "7":
+			res, err := experiments.RunFig7()
+			fail(err)
+			res.Print(os.Stdout)
+		case "8a":
+			res, err := experiments.RunFig8a()
+			fail(err)
+			res.Print(os.Stdout)
+		case "8b":
+			res, err := experiments.RunFig8b()
+			fail(err)
+			res.Print(os.Stdout)
+		case "9":
+			res, err := experiments.RunFig9()
+			fail(err)
+			res.Print(os.Stdout)
+		case "web":
+			res, err := experiments.RunWeb()
+			fail(err)
+			res.Print(os.Stdout)
+		default:
+			log.Fatalf("unknown experiment %q", name)
+		}
+	}
+	if *fig == "all" {
+		for _, name := range []string{"4", "7", "8a", "8b", "9", "web"} {
+			run(name)
+			fmt.Println()
+		}
+		return
+	}
+	run(*fig)
+}
+
+func fail(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

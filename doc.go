@@ -1,0 +1,28 @@
+// Package response reproduces "Identifying and Using Energy-Critical
+// Paths" (Vasić et al., ACM CoNEXT 2011).
+//
+// REsPoNse is a framework that precomputes a small number of
+// energy-critical paths per origin-destination pair (always-on,
+// on-demand, and failover routing tables), installs them once, and uses
+// a lightweight online traffic-engineering loop to aggregate traffic on
+// always-on paths when demand is low — letting large parts of the
+// network sleep — and to activate on-demand paths when demand rises.
+//
+// The repository layout mirrors the paper's system inventory:
+//
+//   - internal/topo:     topology model and builders (fat-tree, GÉANT, ...)
+//   - internal/power:    router/switch power models
+//   - internal/traffic:  traffic matrices, gravity model, synthetic traces
+//   - internal/lp:       simplex + branch-and-bound (CPLEX substitute)
+//   - internal/mcf:      energy-aware routing engine and heuristics
+//   - internal/spf:      shortest-path substrate (Dijkstra, Yen, ECMP)
+//   - internal/core:     the REsPoNse path precomputation framework
+//   - internal/te:       the REsPoNseTE online component
+//   - internal/sim:      discrete-event fluid network simulator
+//   - internal/apps:     streaming and web application workloads
+//   - internal/analysis: recomputation rate, configuration dominance,
+//     energy-critical-path coverage
+//
+// See DESIGN.md for the full inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every reproduced figure.
+package response

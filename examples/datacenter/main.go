@@ -1,0 +1,54 @@
+// Command datacenter reproduces the shape of the paper's Figure 4: a
+// k=4 fat-tree serving a sinusoidal diurnal demand, comparing network
+// power under ECMP (everything always on) against REsPoNse with
+// localized ("near") and cross-pod ("far") traffic.
+//
+// Expected shape: ECMP sits at 100 %; REsPoNse tracks the sine wave,
+// with near traffic cheaper than far traffic because intra-pod paths
+// let the entire core sleep.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"response/internal/core"
+	"response/internal/power"
+	"response/internal/topo"
+	"response/internal/traffic"
+)
+
+func main() {
+	ft, err := topo.NewFatTree(4, topo.FatTreeOpts{WithHosts: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := power.NewCommodity(4)
+	fmt.Printf("fat-tree k=4: %d switches, %d hosts, all-on %.0f W\n",
+		ft.NumNodes()-len(ft.AllHosts()), len(ft.AllHosts()),
+		power.FullWatts(ft.Topology, model))
+
+	for _, loc := range []traffic.Locality{traffic.Near, traffic.Far} {
+		series := traffic.SineSeries(ft, traffic.SineOpts{Locality: loc, Steps: 10})
+		peak := series.Peak()
+		tables, err := core.Plan(ft.Topology, core.PlanOpts{
+			Model: model,
+			Mode:  core.ModeSolver,
+			// Endpoint hosts exchange sine-wave traffic.
+			Nodes:  ft.AllHosts(),
+			LowTM:  series.OffPeak(),
+			PeakTM: peak,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s traffic (sine period = %d steps):\n", loc, len(series.Matrices))
+		fmt.Println("  time   demand%   ecmp-power%   response-power%")
+		peakTotal := peak.Total()
+		for i, m := range series.Matrices {
+			res := tables.Evaluate(m, model, 0.9)
+			fmt.Printf("  %4d   %6.0f    %10.0f    %14.1f\n",
+				i, 100*m.Total()/peakTotal, 100.0, res.PctOfFull)
+		}
+	}
+}

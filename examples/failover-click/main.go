@@ -1,0 +1,75 @@
+// Command failover-click reproduces the paper's Figure 7 (the Click
+// testbed experiment, §5.3) in the event-driven simulator: on the
+// Figure 3 topology, REsPoNseTE starts at t=5 s and within ≈2 RTTs
+// consolidates traffic onto the always-on middle path, letting the
+// upper and lower on-demand paths sleep; at t=5.7 s the middle link
+// fails and traffic is promptly restored over the woken failover paths.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"response/internal/power"
+	"response/internal/sim"
+	"response/internal/te"
+	"response/internal/topo"
+)
+
+func main() {
+	ex := topo.NewExample(topo.ExampleOpts{})
+	pinned := topo.AllOff(ex.Topology)
+	pinned.ActivatePath(ex.Topology, ex.MiddlePath(ex.A))
+	pinned.ActivatePath(ex.Topology, ex.MiddlePath(ex.C))
+
+	s := sim.New(ex.Topology, sim.Opts{
+		WakeUpDelay:      0.010, // 10 ms: projected future hardware
+		SleepAfterIdle:   0.050,
+		FailureDetect:    0.050, // 50 ms detection
+		FailurePropagate: 0.050, // 50 ms ≈ 3 hops of 16.67 ms
+		Model:            power.Cisco12000{},
+		PinnedOn:         pinned,
+	})
+	ctrl := te.NewController(s, te.Opts{Threshold: 0.9, Gamma: 0.5})
+
+	// 5 flows of ~0.5 Mbps from A and from C toward K (≈5 Mbps total),
+	// initially split across both available paths.
+	fa, err := s.AddFlow(ex.A, ex.K, 2.5*topo.Mbps,
+		[]topo.Path{ex.MiddlePath(ex.A), ex.UpperPath()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fc, err := s.AddFlow(ex.C, ex.K, 2.5*topo.Mbps,
+		[]topo.Path{ex.MiddlePath(ex.C), ex.LowerPath()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s.SetShare(fa, []float64{0.5, 0.5})
+	s.SetShare(fc, []float64{0.5, 0.5})
+	ctrl.Manage(fa)
+	ctrl.Manage(fc)
+
+	s.Schedule(5.0, func() {
+		fmt.Println("t=5.000  REsPoNseTE starts")
+		ctrl.Start()
+	})
+	eh, _ := ex.ArcBetween(ex.E, ex.H)
+	s.Schedule(5.7, func() {
+		fmt.Println("t=5.700  middle link E-H fails")
+		s.FailLink(ex.Arc(eh).Link)
+	})
+
+	fmt.Println("  time   middle(Mbps)  upper(Mbps)  lower(Mbps)  power%")
+	sample := func(now float64) {
+		middle := fa.PathRate(0) + fc.PathRate(0)
+		fmt.Printf("  %5.2f     %8.2f     %8.2f     %8.2f   %5.1f\n",
+			now, middle/1e6, fa.PathRate(1)/1e6, fc.PathRate(1)/1e6, s.PowerPct())
+	}
+	s.SampleEvery(0.25, 7.0, sample)
+	s.Run(7.0)
+
+	fmt.Printf("\ncontroller: %d decisions, %d shifts, %d wakes\n",
+		ctrl.Decisions, ctrl.Shifts, ctrl.Wakes)
+	fmt.Printf("final rates: A %.2f Mbps, C %.2f Mbps (demand 2.5 each)\n",
+		fa.Rate()/1e6, fc.Rate()/1e6)
+}

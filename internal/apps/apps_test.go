@@ -1,0 +1,266 @@
+package apps
+
+import (
+	"testing"
+
+	"response/internal/sim"
+	"response/internal/te"
+	"response/internal/topo"
+)
+
+// starTopo builds a star: src in the middle, n clients around it.
+func starTopo(t *testing.T, n int, capacity float64) (*topo.Topology, topo.NodeID, []topo.NodeID) {
+	t.Helper()
+	tp := topo.New("star")
+	src := tp.AddNode("src", topo.KindRouter)
+	var clients []topo.NodeID
+	for i := 0; i < n; i++ {
+		c := tp.AddNode("c", topo.KindRouter)
+		tp.AddLink(src, c, capacity, 0.005)
+		clients = append(clients, c)
+	}
+	return tp, src, clients
+}
+
+func singlePath(tp *topo.Topology) func(o, d topo.NodeID) []topo.Path {
+	return func(o, d topo.NodeID) []topo.Path {
+		aid, ok := tp.ArcBetween(o, d)
+		if !ok {
+			return nil
+		}
+		return []topo.Path{{Arcs: []topo.ArcID{aid}}}
+	}
+}
+
+func TestStreamingAmpleCapacityPlaysClean(t *testing.T) {
+	tp, src, clients := starTopo(t, 5, 10*topo.Mbps)
+	res, err := RunStreaming(tp, StreamingOpts{
+		Source:        src,
+		Phase1Clients: clients,
+		Phase2At:      30,
+		Duration:      60,
+		PathsFor:      singlePath(tp),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clients) != 5 {
+		t.Fatalf("clients = %d", len(res.Clients))
+	}
+	for _, c := range res.Clients {
+		if c.PlayablePct < 99 {
+			t.Errorf("client %d playable %.1f%%, want ≈100", c.Client, c.PlayablePct)
+		}
+		if c.Blocks == 0 {
+			t.Errorf("client %d scored no blocks", c.Client)
+		}
+	}
+	if res.PlayableBox.Min < 99 {
+		t.Errorf("boxplot min = %v", res.PlayableBox.Min)
+	}
+	// 600 kbps on an idle 10 Mbps path: retrieval latency ≈ one block
+	// duration (live streaming at line rate) + propagation delay.
+	if res.MeanBlockLatency > 1.1 {
+		t.Errorf("mean block latency %.2fs too high", res.MeanBlockLatency)
+	}
+	if res.MeanBlockLatency < 0.9 {
+		t.Errorf("mean block latency %.2fs implausibly low", res.MeanBlockLatency)
+	}
+}
+
+func TestStreamingStarvedClientsStall(t *testing.T) {
+	// 0.3 Mbps links cannot carry a 600 kbps stream.
+	tp, src, clients := starTopo(t, 3, 0.3*topo.Mbps)
+	res, err := RunStreaming(tp, StreamingOpts{
+		Source:        src,
+		Phase1Clients: clients,
+		Phase2At:      30,
+		Duration:      60,
+		PathsFor:      singlePath(tp),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Clients {
+		if c.PlayablePct > 50 {
+			t.Errorf("starved client %d playable %.1f%%", c.Client, c.PlayablePct)
+		}
+	}
+}
+
+func TestStreamingPhase2Join(t *testing.T) {
+	tp, src, clients := starTopo(t, 4, 10*topo.Mbps)
+	res, err := RunStreaming(tp, StreamingOpts{
+		Source:        src,
+		Phase1Clients: clients[:2],
+		Phase2Clients: clients[2:],
+		Phase2At:      20,
+		Duration:      60,
+		PathsFor:      singlePath(tp),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := map[float64]int{}
+	for _, c := range res.Clients {
+		joined[c.JoinAt]++
+	}
+	if joined[0] != 2 || joined[20] != 2 {
+		t.Errorf("join times = %v", joined)
+	}
+	// Later joiners have fewer blocks but should still play.
+	for _, c := range res.Clients {
+		if c.PlayablePct < 99 {
+			t.Errorf("client joined at %v playable %.1f%%", c.JoinAt, c.PlayablePct)
+		}
+	}
+}
+
+func TestStreamingNoPathError(t *testing.T) {
+	tp, src, clients := starTopo(t, 1, topo.Mbps)
+	_, err := RunStreaming(tp, StreamingOpts{
+		Source:        src,
+		Phase1Clients: clients,
+		PathsFor:      func(o, d topo.NodeID) []topo.Path { return nil },
+	})
+	if err == nil {
+		t.Error("missing paths should error")
+	}
+}
+
+func TestSpecwebSizesPlausible(t *testing.T) {
+	sizes := SpecwebBankingSizes(1000, 7)
+	if len(sizes) != 1000 {
+		t.Fatal("length")
+	}
+	var small, big int
+	for _, s := range sizes {
+		if s < 500 || s > 1e6 {
+			t.Fatalf("size %v out of bounds", s)
+		}
+		if s < 30e3 {
+			small++
+		}
+		if s > 100e3 {
+			big++
+		}
+	}
+	if small < 500 {
+		t.Errorf("only %d small files; banking mix should be small-file heavy", small)
+	}
+	if big == 0 {
+		t.Error("no tail files at all")
+	}
+	// Deterministic.
+	again := SpecwebBankingSizes(1000, 7)
+	for i := range sizes {
+		if sizes[i] != again[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestWebLatencyPathSensitivity(t *testing.T) {
+	// Short path vs long path: latency must increase with path length.
+	tp := topo.New("web")
+	srv := tp.AddNode("srv", topo.KindRouter)
+	mid := tp.AddNode("mid", topo.KindRouter)
+	c1 := tp.AddNode("c1", topo.KindRouter)
+	tp.AddLink(srv, c1, 100*topo.Mbps, 0.01)
+	tp.AddLink(srv, mid, 100*topo.Mbps, 0.01)
+	tp.AddLink(mid, c1, 100*topo.Mbps, 0.01)
+	direct, _ := tp.ArcBetween(srv, c1)
+	h1, _ := tp.ArcBetween(srv, mid)
+	h2, _ := tp.ArcBetween(mid, c1)
+	shortPath := topo.Path{Arcs: []topo.ArcID{direct}}
+	longPath := topo.Path{Arcs: []topo.ArcID{h1, h2}}
+
+	run := func(p topo.Path) *WebResult {
+		res, err := RunWeb(tp, WebOpts{
+			Server:  srv,
+			Clients: []topo.NodeID{c1},
+			PathFor: func(s, c topo.NodeID) topo.Path { return p },
+			Seed:    3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fast := run(shortPath)
+	slow := run(longPath)
+	if slow.Mean <= fast.Mean {
+		t.Errorf("long path %.4f <= short path %.4f", slow.Mean, fast.Mean)
+	}
+	increase := (slow.Mean - fast.Mean) / fast.Mean
+	if increase <= 0 || increase > 1 {
+		t.Errorf("latency increase = %.0f%%", increase*100)
+	}
+	if len(fast.Latencies) != 250 {
+		t.Errorf("requests = %d", len(fast.Latencies))
+	}
+	if fast.P95 < fast.Mean {
+		t.Error("P95 below mean is implausible for a heavy-tailed mix")
+	}
+}
+
+func TestWebErrors(t *testing.T) {
+	tp, src, clients := starTopo(t, 1, topo.Mbps)
+	_, err := RunWeb(tp, WebOpts{
+		Server:  src,
+		Clients: clients,
+		PathFor: func(s, c topo.NodeID) topo.Path { return topo.Path{} },
+	})
+	if err == nil {
+		t.Error("empty path should error")
+	}
+	_, err = RunWeb(tp, WebOpts{
+		Server:  src,
+		Clients: clients,
+		PathFor: func(s, c topo.NodeID) topo.Path {
+			aid, _ := tp.ArcBetween(s, c)
+			return topo.Path{Arcs: []topo.ArcID{aid}}
+		},
+		BackgroundUtil: 1.0,
+	})
+	if err == nil {
+		t.Error("zero residual bandwidth should error")
+	}
+}
+
+// TestStreamingWithTEKeepsPlayback runs streaming under the TE
+// controller on a two-path topology, ensuring consolidation does not
+// break playback.
+func TestStreamingWithTEKeepsPlayback(t *testing.T) {
+	tp := topo.New("twopath")
+	src := tp.AddNode("src", topo.KindRouter)
+	mid := tp.AddNode("mid", topo.KindRouter)
+	dst := tp.AddNode("dst", topo.KindRouter)
+	tp.AddLink(src, dst, 5*topo.Mbps, 0.01)
+	tp.AddLink(src, mid, 5*topo.Mbps, 0.01)
+	tp.AddLink(mid, dst, 5*topo.Mbps, 0.01)
+	direct, _ := tp.ArcBetween(src, dst)
+	h1, _ := tp.ArcBetween(src, mid)
+	h2, _ := tp.ArcBetween(mid, dst)
+	levels := []topo.Path{
+		{Arcs: []topo.ArcID{direct}},
+		{Arcs: []topo.ArcID{h1, h2}},
+	}
+	pinned := topo.AllOff(tp)
+	pinned.ActivatePath(tp, levels[0])
+	res, err := RunStreaming(tp, StreamingOpts{
+		Source:        src,
+		Phase1Clients: []topo.NodeID{dst},
+		Phase2At:      20,
+		Duration:      60,
+		PathsFor:      func(o, d topo.NodeID) []topo.Path { return levels },
+		Sim:           sim.Opts{PinnedOn: pinned},
+		TE:            &te.Opts{Threshold: 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clients[0].PlayablePct < 99 {
+		t.Errorf("playable %.1f%% under TE", res.Clients[0].PlayablePct)
+	}
+}

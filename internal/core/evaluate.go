@@ -1,0 +1,263 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"response/internal/mcf"
+	"response/internal/power"
+	"response/internal/spf"
+	"response/internal/topo"
+	"response/internal/traffic"
+)
+
+// EvalResult is the outcome of applying the REsPoNseTE placement policy
+// to one traffic matrix over installed tables: which elements end up
+// active (and hence the network power), what the routing looks like,
+// and how far each table level was exercised.
+type EvalResult struct {
+	Active *topo.ActiveSet
+	// Placed maps each (O,D) pair to the rate placed per level.
+	Placed map[[2]topo.NodeID][]float64
+	// Load is the resulting per-arc load in bits/s.
+	Load  []float64
+	Watts float64
+	// PctOfFull is Watts relative to the all-on network.
+	PctOfFull float64
+	// MaxUtil is the worst link utilization of the placement.
+	MaxUtil float64
+	// Overloaded counts demands whose traffic exceeded the combined
+	// headroom of all installed paths; the excess runs over the
+	// utilization ceiling on the last level (the network runs hot
+	// rather than dropping traffic, §4.5).
+	Overloaded int
+	// LevelUse counts demands with traffic on each level (0 =
+	// always-on); a split demand contributes to several levels.
+	LevelUse []int
+	// Routing exposes each pair's dominant path (the level carrying
+	// the most traffic) for compatibility with path-based consumers.
+	Routing *mcf.Routing
+}
+
+// Evaluate places a traffic matrix onto the installed tables the way
+// REsPoNseTE does at steady state (§4.4): each demand aggregates onto
+// its always-on path while the utilization ceiling holds and overflows
+// the excess to successive on-demand levels — the same splitting the
+// online controller performs with path shares. Elements that end up
+// carrying nothing stay asleep. The resulting power is what Figures
+// 4–6 plot.
+func (tb *Tables) Evaluate(m *traffic.Matrix, model power.Model, maxUtil float64) EvalResult {
+	if maxUtil <= 0 {
+		maxUtil = 1.0
+	}
+	t := tb.Topo
+	demands := m.Demands()
+	sort.SliceStable(demands, func(i, j int) bool { return demands[i].Rate > demands[j].Rate })
+
+	maxLevels := 0
+	for _, ps := range tb.Pairs {
+		if n := ps.NumLevels(); n > maxLevels {
+			maxLevels = n
+		}
+	}
+	res := EvalResult{
+		Placed:   make(map[[2]topo.NodeID][]float64, len(demands)),
+		Load:     make([]float64, t.NumArcs()),
+		LevelUse: make([]int, maxLevels),
+	}
+
+	for _, d := range demands {
+		if d.O == d.D || d.Rate == 0 {
+			continue
+		}
+		ps, ok := tb.PathSetFor(d.O, d.D)
+		if !ok {
+			res.Overloaded++
+			continue
+		}
+		levels := ps.Levels()
+		placed := make([]float64, len(levels))
+		remaining := d.Rate
+		for li, p := range levels {
+			if remaining <= 1e-9 {
+				break
+			}
+			if p.Empty() {
+				continue
+			}
+			room := headroom(t, res.Load, p, maxUtil)
+			amt := math.Min(remaining, room)
+			if amt <= 1e-9 {
+				continue
+			}
+			addLoad(res.Load, p, amt)
+			placed[li] = amt
+			remaining -= amt
+		}
+		if remaining > 1e-9 {
+			// No headroom anywhere: the excess rides the last
+			// non-empty level over the ceiling.
+			res.Overloaded++
+			for li := len(levels) - 1; li >= 0; li-- {
+				if !levels[li].Empty() {
+					addLoad(res.Load, levels[li], remaining)
+					placed[li] += remaining
+					break
+				}
+			}
+		}
+		for li, amt := range placed {
+			if amt > 1e-9 {
+				res.LevelUse[li]++
+			}
+		}
+		res.Placed[[2]topo.NodeID{d.O, d.D}] = placed
+	}
+
+	// Power: always-on elements plus whatever the placement touches.
+	active := tb.AlwaysOnSet.Clone()
+	routing := mcf.NewRouting(t)
+	for k, placed := range res.Placed {
+		ps := tb.Pairs[k]
+		levels := ps.Levels()
+		bestLi, bestAmt := -1, 0.0
+		for li, amt := range placed {
+			if amt <= 1e-9 {
+				continue
+			}
+			active.ActivatePath(t, levels[li])
+			if amt > bestAmt {
+				bestLi, bestAmt = li, amt
+			}
+		}
+		if bestLi >= 0 {
+			routing.Assign(k[0], k[1], levels[bestLi], 0)
+		}
+	}
+	res.Active = active
+	res.Routing = routing
+	res.Watts = power.NetworkWatts(t, model, active)
+	if full := power.FullWatts(t, model); full > 0 {
+		res.PctOfFull = 100 * res.Watts / full
+	}
+	for i, l := range res.Load {
+		if l == 0 {
+			continue
+		}
+		if u := l / t.Arc(topo.ArcID(i)).Capacity; u > res.MaxUtil {
+			res.MaxUtil = u
+		}
+	}
+	return res
+}
+
+// headroom returns the largest extra rate p can absorb with every arc
+// staying at or below maxUtil.
+func headroom(t *topo.Topology, load []float64, p topo.Path, maxUtil float64) float64 {
+	room := math.Inf(1)
+	for _, aid := range p.Arcs {
+		if r := t.Arc(aid).Capacity*maxUtil - load[aid]; r < room {
+			room = r
+		}
+	}
+	if room < 0 {
+		return 0
+	}
+	return room
+}
+
+func addLoad(load []float64, p topo.Path, rate float64) {
+	for _, aid := range p.Arcs {
+		load[aid] += rate
+	}
+}
+
+// AlwaysOnCapacityShare estimates how much of the volume routable by
+// OSPF-InvCap the always-on paths alone can carry (§4.1 reports ≈50 %):
+// the ratio of max feasible gravity-scale on always-on paths vs. on
+// OSPF paths over the full network.
+func (tb *Tables) AlwaysOnCapacityShare(base *traffic.Matrix, maxUtil float64) float64 {
+	if maxUtil <= 0 {
+		maxUtil = 1.0
+	}
+	t := tb.Topo
+	scaleOn := maxScaleOnPaths(t, base, maxUtil, func(o, d topo.NodeID) topo.Path {
+		if ps, ok := tb.PathSetFor(o, d); ok {
+			return ps.AlwaysOn
+		}
+		return topo.Path{}
+	})
+	ospf := OSPFPaths(t, endpointsOf(base))
+	scaleOSPF := maxScaleOnPaths(t, base, maxUtil, func(o, d topo.NodeID) topo.Path {
+		return ospf[[2]topo.NodeID{o, d}]
+	})
+	if scaleOSPF == 0 {
+		return 0
+	}
+	return scaleOn / scaleOSPF
+}
+
+func endpointsOf(m *traffic.Matrix) []topo.NodeID {
+	seen := map[topo.NodeID]bool{}
+	var out []topo.NodeID
+	for _, d := range m.Demands() {
+		for _, n := range []topo.NodeID{d.O, d.D} {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// maxScaleOnPaths bisects the largest matrix multiplier that fits on
+// fixed per-pair paths.
+func maxScaleOnPaths(t *topo.Topology, base *traffic.Matrix, maxUtil float64,
+	choose func(o, d topo.NodeID) topo.Path) float64 {
+
+	fits := func(s float64) bool {
+		_, err := mcf.RouteOnPaths(t, base.Scale(s).Demands(), choose, maxUtil)
+		return err == nil
+	}
+	if !fits(1e-12) {
+		return 0
+	}
+	lo, hi := 0.0, 1.0
+	for fits(hi) {
+		lo = hi
+		hi *= 2
+		if hi > 1e18 {
+			return lo
+		}
+	}
+	for i := 0; i < 40 && hi-lo > 1e-3*lo; i++ {
+		mid := (lo + hi) / 2
+		if fits(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// OSPFPaths computes the OSPF-InvCap shortest path for every ordered
+// pair of the given nodes: the paper's baseline routing.
+func OSPFPaths(t *topo.Topology, nodes []topo.NodeID) map[[2]topo.NodeID]topo.Path {
+	out := make(map[[2]topo.NodeID]topo.Path)
+	opts := spf.Options{Weight: spf.InvCap()}
+	for _, o := range nodes {
+		tree := spf.ShortestTree(t, o, opts)
+		for _, d := range nodes {
+			if o == d {
+				continue
+			}
+			if p, ok := tree.PathTo(t, d); ok {
+				out[[2]topo.NodeID{o, d}] = p
+			}
+		}
+	}
+	return out
+}

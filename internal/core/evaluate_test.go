@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"response/internal/power"
+	"response/internal/topo"
+	"response/internal/traffic"
+)
+
+// twoPathTopo builds A-B direct (10 Mbps) plus A-C-B detour (10 Mbps
+// per hop) and hand-crafts tables with the direct path always-on and
+// the detour as on-demand.
+func twoPathTables(t *testing.T) (*topo.Topology, *Tables, [3]topo.NodeID) {
+	t.Helper()
+	tp := topo.New("twopath")
+	a := tp.AddNode("A", topo.KindRouter)
+	b := tp.AddNode("B", topo.KindRouter)
+	c := tp.AddNode("C", topo.KindRouter)
+	tp.AddLink(a, b, 10*topo.Mbps, 0.001)
+	tp.AddLink(a, c, 10*topo.Mbps, 0.001)
+	tp.AddLink(c, b, 10*topo.Mbps, 0.001)
+	ab, _ := tp.ArcBetween(a, b)
+	ac, _ := tp.ArcBetween(a, c)
+	cb, _ := tp.ArcBetween(c, b)
+	direct := topo.Path{Arcs: []topo.ArcID{ab}}
+	detour := topo.Path{Arcs: []topo.ArcID{ac, cb}}
+	aon := topo.AllOff(tp)
+	aon.ActivatePath(tp, direct)
+	tb := &Tables{
+		Topo: tp,
+		Pairs: map[[2]topo.NodeID]*PathSet{
+			{a, b}: {AlwaysOn: direct, OnDemand: []topo.Path{detour}, Failover: detour},
+		},
+		AlwaysOnSet: aon,
+		Variant:     "hand",
+	}
+	return tp, tb, [3]topo.NodeID{a, b, c}
+}
+
+func TestEvaluateSplitsAcrossLevels(t *testing.T) {
+	tp, tb, n := twoPathTables(t)
+	m := power.Cisco12000{}
+	// 15 Mbps demand: 9 on the direct path (0.9 ceiling), 6 overflow
+	// to the detour.
+	tm := traffic.NewMatrix()
+	tm.Set(n[0], n[1], 15*topo.Mbps)
+	res := tb.Evaluate(tm, m, 0.9)
+	placed := res.Placed[[2]topo.NodeID{n[0], n[1]}]
+	if math.Abs(placed[0]-9e6) > 1e3 {
+		t.Errorf("always-on share = %v, want 9 Mbps", placed[0])
+	}
+	if math.Abs(placed[1]-6e6) > 1e3 {
+		t.Errorf("on-demand share = %v, want 6 Mbps", placed[1])
+	}
+	if res.Overloaded != 0 {
+		t.Errorf("overloaded = %d", res.Overloaded)
+	}
+	if res.LevelUse[0] != 1 || res.LevelUse[1] != 1 {
+		t.Errorf("level use = %v", res.LevelUse)
+	}
+	// Both paths active → all three routers, all three links on.
+	r, l := res.Active.CountOn()
+	if r != 3 || l != 3 {
+		t.Errorf("active = %d routers %d links", r, l)
+	}
+	if res.MaxUtil > 0.9+1e-9 {
+		t.Errorf("max util %v exceeds ceiling", res.MaxUtil)
+	}
+	_ = tp
+}
+
+func TestEvaluateLowLoadKeepsDetourDark(t *testing.T) {
+	_, tb, n := twoPathTables(t)
+	m := power.Cisco12000{}
+	tm := traffic.NewMatrix()
+	tm.Set(n[0], n[1], 2*topo.Mbps)
+	res := tb.Evaluate(tm, m, 0.9)
+	if res.LevelUse[1] != 0 {
+		t.Error("on-demand used at low load")
+	}
+	// Router C must be dark: only the always-on direct path is active.
+	if res.Active.Router[n[2]] {
+		t.Error("detour router powered at low load")
+	}
+}
+
+func TestEvaluateOverloadFallback(t *testing.T) {
+	_, tb, n := twoPathTables(t)
+	m := power.Cisco12000{}
+	// 30 Mbps cannot fit even on both paths (9+9 at 0.9): the excess
+	// rides the last level over the ceiling and the demand is counted
+	// overloaded.
+	tm := traffic.NewMatrix()
+	tm.Set(n[0], n[1], 30*topo.Mbps)
+	res := tb.Evaluate(tm, m, 0.9)
+	if res.Overloaded != 1 {
+		t.Errorf("overloaded = %d, want 1", res.Overloaded)
+	}
+	if res.MaxUtil <= 1 {
+		t.Errorf("max util %v should exceed 1 under overload", res.MaxUtil)
+	}
+	total := 0.0
+	for _, amt := range res.Placed[[2]topo.NodeID{n[0], n[1]}] {
+		total += amt
+	}
+	if math.Abs(total-30e6) > 1e3 {
+		t.Errorf("placed %v, want the full 30 Mbps (run hot, not drop)", total)
+	}
+}
+
+func TestAnalyzeTopologyChanges(t *testing.T) {
+	g, tb := planGeant(t, PlanOpts{})
+	impacts := tb.AnalyzeTopologyChanges()
+	if len(impacts) != g.NumLinks() {
+		t.Fatalf("impacts = %d, want %d", len(impacts), g.NumLinks())
+	}
+	replan := tb.ReplanWorthyFailures()
+	// GÉANT has degree-1 spurs (IE); their links are genuine bridges
+	// and must be flagged; the meshed core must not be.
+	bridges := 0
+	for _, l := range g.Links() {
+		if g.Degree(l.A) == 1 || g.Degree(l.B) == 1 {
+			bridges++
+		}
+	}
+	if len(replan) < bridges {
+		t.Errorf("replan-worthy = %d, want at least the %d spur bridges", len(replan), bridges)
+	}
+	if len(replan) > g.NumLinks()/2 {
+		t.Errorf("replan-worthy = %d of %d — tables far too fragile", len(replan), g.NumLinks())
+	}
+}
+
+func TestTruncateTables(t *testing.T) {
+	_, tb := planGeant(t, PlanOpts{N: 5})
+	cut := tb.Truncate(2) // Dual-Topology-Routing-style: 2 tables
+	for _, ps := range cut.Pairs {
+		if len(ps.OnDemand) != 0 {
+			t.Fatalf("truncated on-demand = %d, want 0", len(ps.OnDemand))
+		}
+		if ps.AlwaysOn.Empty() {
+			t.Fatal("always-on lost")
+		}
+	}
+	if err := cut.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cut3 := tb.Truncate(3)
+	for _, ps := range cut3.Pairs {
+		if len(ps.OnDemand) != 1 {
+			t.Fatalf("n=3 on-demand = %d, want 1", len(ps.OnDemand))
+		}
+		break
+	}
+	// Truncation can only reduce (or keep) evaluated power headroom:
+	// fewer levels, same always-on.
+	m := power.Cisco12000{}
+	tm := traffic.Gravity(tb.Topo, traffic.GravityOpts{TotalRate: 3 * topo.Gbps})
+	full := tb.Evaluate(tm, m, 0.9)
+	trunc := cut.Evaluate(tm, m, 0.9)
+	if trunc.Overloaded < full.Overloaded {
+		t.Errorf("truncated tables overload less (%d) than full (%d)?",
+			trunc.Overloaded, full.Overloaded)
+	}
+}

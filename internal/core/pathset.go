@@ -1,0 +1,152 @@
+// Package core implements the REsPoNse framework — the paper's primary
+// contribution (§4): off-line identification of energy-critical paths
+// per origin-destination pair, materialized as three kinds of routing
+// tables (always-on, on-demand, failover) that are installed once and
+// never recomputed while the online component (internal/te) shifts
+// traffic among them.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"response/internal/topo"
+)
+
+// PathLevel indexes the installed tables for one pair: level 0 is the
+// always-on path, levels 1..N-2 are on-demand paths, and the last level
+// is the failover path.
+type PathLevel int
+
+// PathSet holds the precomputed energy-critical paths of one (O,D)
+// pair. A small N (the paper finds 3 for GÉANT, 5 for a fat-tree)
+// suffices to carry almost all traffic.
+type PathSet struct {
+	AlwaysOn topo.Path
+	OnDemand []topo.Path
+	Failover topo.Path
+}
+
+// Levels returns the installed paths ordered by activation priority:
+// always-on first, then each on-demand table, then failover.
+func (ps *PathSet) Levels() []topo.Path {
+	out := make([]topo.Path, 0, 2+len(ps.OnDemand))
+	out = append(out, ps.AlwaysOn)
+	out = append(out, ps.OnDemand...)
+	out = append(out, ps.Failover)
+	return out
+}
+
+// NumLevels returns the number of installed tables for this pair.
+func (ps *PathSet) NumLevels() int { return 2 + len(ps.OnDemand) }
+
+// Tables is the full set of installed routing state for a topology:
+// one PathSet per pair plus the always-on element set that must stay
+// powered at all times.
+type Tables struct {
+	Topo  *topo.Topology
+	Pairs map[[2]topo.NodeID]*PathSet
+	// AlwaysOnSet contains every element on some always-on path; these
+	// elements are never put to sleep.
+	AlwaysOnSet *topo.ActiveSet
+	// Variant labels how the tables were computed (for experiment output).
+	Variant string
+}
+
+// PathSetFor returns the installed paths for (o,d).
+func (tb *Tables) PathSetFor(o, d topo.NodeID) (*PathSet, bool) {
+	ps, ok := tb.Pairs[[2]topo.NodeID{o, d}]
+	return ps, ok
+}
+
+// Path returns the level-th installed path for (o,d). Out-of-range
+// levels clamp to failover.
+func (tb *Tables) Path(o, d topo.NodeID, level PathLevel) topo.Path {
+	ps, ok := tb.PathSetFor(o, d)
+	if !ok {
+		return topo.Path{}
+	}
+	ls := ps.Levels()
+	i := int(level)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(ls) {
+		i = len(ls) - 1
+	}
+	return ls[i]
+}
+
+// PairKeys returns all (O,D) keys in deterministic order.
+func (tb *Tables) PairKeys() [][2]topo.NodeID {
+	keys := make([][2]topo.NodeID, 0, len(tb.Pairs))
+	for k := range tb.Pairs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	return keys
+}
+
+// Validate checks that every installed path is structurally sound and
+// connects its pair, and that every always-on path runs over the
+// always-on element set.
+func (tb *Tables) Validate() error {
+	for _, k := range tb.PairKeys() {
+		ps := tb.Pairs[k]
+		for li, p := range ps.Levels() {
+			if p.Empty() {
+				continue
+			}
+			if err := p.Check(tb.Topo); err != nil {
+				return fmt.Errorf("core: pair %v level %d: %w", k, li, err)
+			}
+			if p.Origin(tb.Topo) != k[0] || p.Destination(tb.Topo) != k[1] {
+				return fmt.Errorf("core: pair %v level %d endpoints mismatch", k, li)
+			}
+		}
+		if !ps.AlwaysOn.Empty() && !ps.AlwaysOn.ActiveUnder(tb.Topo, tb.AlwaysOnSet) {
+			return fmt.Errorf("core: pair %v always-on path leaves always-on set", k)
+		}
+	}
+	return nil
+}
+
+// TunnelCount returns the total number of installed paths, the quantity
+// the deployment discussion (§4.5) compares against router tunnel
+// limits (~600 in 2005-era hardware).
+func (tb *Tables) TunnelCount() int {
+	n := 0
+	for _, ps := range tb.Pairs {
+		for _, p := range ps.Levels() {
+			if !p.Empty() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// MaxTunnelsPerNode returns the largest number of installed paths
+// originating at any single node.
+func (tb *Tables) MaxTunnelsPerNode() int {
+	perNode := map[topo.NodeID]int{}
+	for k, ps := range tb.Pairs {
+		for _, p := range ps.Levels() {
+			if !p.Empty() {
+				perNode[k[0]]++
+			}
+		}
+	}
+	mx := 0
+	for _, c := range perNode {
+		if c > mx {
+			mx = c
+		}
+	}
+	return mx
+}

@@ -1,0 +1,524 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"response/internal/mcf"
+	"response/internal/power"
+	"response/internal/spf"
+	"response/internal/topo"
+	"response/internal/traffic"
+)
+
+// debugOnDemand enables planner tracing in tests/debug builds.
+var debugOnDemand = false
+
+// Mode selects how on-demand paths are computed (§4.2).
+type Mode int
+
+// On-demand computation modes.
+const (
+	// ModeStress is the demand-oblivious default ("REsPoNse" in the
+	// figures): solve the min-power problem while avoiding the
+	// top-stressed fraction of links from the always-on assignment.
+	ModeStress Mode = iota
+	// ModeSolver uses the solver with the peak-hour traffic matrix,
+	// carrying the always-on X/Y fixed to 1.
+	ModeSolver
+	// ModeOSPF substitutes the default OSPF-InvCap routing table for
+	// the on-demand paths ("REsPoNse-ospf").
+	ModeOSPF
+	// ModeHeuristic uses the GreenTE-style k-shortest-path heuristic
+	// with the peak matrix ("REsPoNse-heuristic").
+	ModeHeuristic
+)
+
+// String names the mode as the figures label it.
+func (m Mode) String() string {
+	switch m {
+	case ModeStress:
+		return "REsPoNse"
+	case ModeSolver:
+		return "REsPoNse-solver"
+	case ModeOSPF:
+		return "REsPoNse-ospf"
+	case ModeHeuristic:
+		return "REsPoNse-heuristic"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// PlanOpts parameterizes the off-line path precomputation.
+type PlanOpts struct {
+	// N is the number of energy-critical paths per pair (default 3:
+	// one always-on, N-2 on-demand, one failover). §3.3: 3 suffice on
+	// GÉANT, 5 on a fat-tree.
+	N int
+	// Mode selects the on-demand computation (default ModeStress).
+	Mode Mode
+	// Beta, when > 0, enables the REsPoNse-lat delay bound (§4.1,
+	// constraint 4): every always-on path's propagation delay must be
+	// ≤ (1+Beta) × the OSPF-InvCap path delay. The paper uses 0.25.
+	Beta float64
+	// StressExclude is the fraction of top-stressed links excluded
+	// when computing on-demand paths (default 0.2, §4.2).
+	StressExclude float64
+	// Epsilon is the per-pair demand used for the traffic-oblivious
+	// always-on computation (default 1 bit/s, §4.1).
+	Epsilon float64
+	// LowTM, when non-nil, replaces the ε-demand with a measured
+	// off-peak matrix (d_low).
+	LowTM *traffic.Matrix
+	// PeakTM supplies d_peak for ModeSolver/ModeHeuristic.
+	PeakTM *traffic.Matrix
+	// Model prices elements (required).
+	Model power.Model
+	// MaxUtil is the ISP's utilization ceiling (default 1.0).
+	MaxUtil float64
+	// Nodes is the OD universe (default: hosts if the topology has
+	// any, otherwise all non-host nodes).
+	Nodes []topo.NodeID
+	// RandomRestarts for the optimal-subset search (default 4).
+	RandomRestarts int
+	Seed           int64
+}
+
+func (o *PlanOpts) defaults(t *topo.Topology) error {
+	if o.Model == nil {
+		return errors.New("core: PlanOpts.Model is required")
+	}
+	if o.N == 0 {
+		o.N = 3
+	}
+	if o.N < 3 {
+		return fmt.Errorf("core: N must be >= 3 (always-on + on-demand + failover), got %d", o.N)
+	}
+	if o.StressExclude == 0 {
+		o.StressExclude = 0.2
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 1 // 1 bit/s
+	}
+	if o.MaxUtil == 0 {
+		o.MaxUtil = 1.0
+	}
+	if o.Nodes == nil {
+		o.Nodes = DefaultEndpoints(t)
+	}
+	if (o.Mode == ModeSolver || o.Mode == ModeHeuristic) && o.PeakTM == nil {
+		return fmt.Errorf("core: mode %v requires PeakTM", o.Mode)
+	}
+	return nil
+}
+
+// DefaultEndpoints returns the natural demand endpoints of a topology:
+// its hosts when it has any (datacenters), else every non-host node.
+func DefaultEndpoints(t *topo.Topology) []topo.NodeID {
+	var hosts, routers []topo.NodeID
+	for _, n := range t.Nodes() {
+		if n.Kind == topo.KindHost {
+			hosts = append(hosts, n.ID)
+		} else {
+			routers = append(routers, n.ID)
+		}
+	}
+	if len(hosts) > 0 {
+		return hosts
+	}
+	return routers
+}
+
+// Plan precomputes the REsPoNse tables for a topology: always-on paths
+// via the min-power solve, N-2 on-demand tables via the selected mode,
+// and one failover path per pair (§4.1–4.3).
+func Plan(t *topo.Topology, opts PlanOpts) (*Tables, error) {
+	if err := opts.defaults(t); err != nil {
+		return nil, err
+	}
+	lowTM := opts.LowTM
+	if lowTM == nil {
+		lowTM = traffic.Uniform(opts.Nodes, opts.Epsilon)
+	}
+	lowDemands := lowTM.Demands()
+
+	// ---- Always-on paths (§4.1): minimum-power full-connectivity. ----
+	// For REsPoNse-lat, constraint (4) — delay(O,D) ≤ (1+β)·delayOSPF —
+	// is enforced inside the subset search: a switch-off whose rerouting
+	// would stretch any pair past its bound is rejected, exactly as the
+	// MILP constraint would forbid it.
+	var check func(*mcf.Routing) error
+	if opts.Beta > 0 {
+		bounds, err := delayBounds(t, opts.Nodes, opts.Beta)
+		if err != nil {
+			return nil, err
+		}
+		check = func(r *mcf.Routing) error {
+			for k, bound := range bounds {
+				p, ok := r.Paths[k]
+				if !ok {
+					continue
+				}
+				if p.Latency(t) > bound+1e-12 {
+					return fmt.Errorf("pair %v exceeds delay bound", k)
+				}
+			}
+			return nil
+		}
+	}
+	_, aonRouting, err := mcf.OptimalSubset(t, lowDemands, opts.Model, mcf.OptimalOpts{
+		RandomRestarts: opts.RandomRestarts,
+		Seed:           opts.Seed,
+		Route:          mcf.RouteOpts{MaxUtil: opts.MaxUtil},
+		Check:          check,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: always-on computation: %w", err)
+	}
+
+	tables := &Tables{
+		Topo:    t,
+		Pairs:   make(map[[2]topo.NodeID]*PathSet),
+		Variant: opts.Mode.String(),
+	}
+	for _, d := range lowDemands {
+		p, ok := aonRouting.Path(d.O, d.D)
+		if !ok {
+			return nil, fmt.Errorf("core: no always-on path %d->%d", d.O, d.D)
+		}
+		tables.Pairs[[2]topo.NodeID{d.O, d.D}] = &PathSet{AlwaysOn: p}
+	}
+
+	// ---- REsPoNse-lat (§4.1 constraint 4). ----
+	if opts.Beta > 0 {
+		tables.Variant = "REsPoNse-lat"
+		if err := enforceLatencyBound(t, tables, opts); err != nil {
+			return nil, err
+		}
+	}
+	tables.AlwaysOnSet = alwaysOnElements(t, tables)
+
+	// ---- On-demand tables (§4.2). ----
+	if err := planOnDemand(t, tables, opts, aonRouting); err != nil {
+		return nil, err
+	}
+
+	// ---- Failover paths (§4.3). ----
+	planFailover(t, tables)
+
+	if err := tables.Validate(); err != nil {
+		return nil, err
+	}
+	return tables, nil
+}
+
+// delayBounds precomputes (1+β)·delayOSPF for every ordered pair of
+// the endpoint set.
+func delayBounds(t *topo.Topology, nodes []topo.NodeID, beta float64) (map[[2]topo.NodeID]float64, error) {
+	out := make(map[[2]topo.NodeID]float64, len(nodes)*(len(nodes)-1))
+	opts := spf.Options{Weight: spf.InvCap()}
+	for _, o := range nodes {
+		tree := spf.ShortestTree(t, o, opts)
+		for _, d := range nodes {
+			if o == d {
+				continue
+			}
+			p, ok := tree.PathTo(t, d)
+			if !ok {
+				return nil, fmt.Errorf("core: no OSPF path %d->%d", o, d)
+			}
+			out[[2]topo.NodeID{o, d}] = (1 + beta) * p.Latency(t)
+		}
+	}
+	return out, nil
+}
+
+// enforceLatencyBound swaps always-on paths violating the (1+β)·OSPF
+// delay bound for the cheapest bounded alternative. With the bound
+// already enforced inside the subset search this is a safety net for
+// paths produced by other plan stages.
+func enforceLatencyBound(t *topo.Topology, tables *Tables, opts PlanOpts) error {
+	active := alwaysOnElements(t, tables)
+	ospf := spf.Options{Weight: spf.InvCap()}
+	for _, k := range tables.PairKeys() {
+		ps := tables.Pairs[k]
+		ref, ok := spf.ShortestPath(t, k[0], k[1], ospf)
+		if !ok {
+			return fmt.Errorf("core: no OSPF path %v", k)
+		}
+		bound := (1 + opts.Beta) * ref.Latency(t)
+		if ps.AlwaysOn.Latency(t) <= bound {
+			continue
+		}
+		// Candidate replacement: among the latency-k-shortest paths
+		// within the bound, take the one activating the least new power.
+		cands := spf.KShortest(t, k[0], k[1], 8, spf.Options{})
+		var best topo.Path
+		bestCost := math.Inf(1)
+		for _, c := range cands {
+			if c.Latency(t) > bound {
+				continue
+			}
+			cost := incrementalPathWatts(t, opts.Model, active, c)
+			if cost < bestCost {
+				best, bestCost = c, cost
+			}
+		}
+		if best.Empty() {
+			// The latency-shortest path always satisfies the bound
+			// (min-latency ≤ OSPF latency ≤ bound); KShortest returns
+			// it first, so this is unreachable unless disconnected.
+			return fmt.Errorf("core: no bounded path %v", k)
+		}
+		ps.AlwaysOn = best
+		active.ActivatePath(t, best)
+	}
+	return nil
+}
+
+// alwaysOnElements unions the elements of every always-on path.
+func alwaysOnElements(t *topo.Topology, tables *Tables) *topo.ActiveSet {
+	a := topo.AllOff(t)
+	for _, ps := range tables.Pairs {
+		a.ActivatePath(t, ps.AlwaysOn)
+	}
+	return a
+}
+
+// planOnDemand computes the N-2 on-demand tables per the mode.
+func planOnDemand(t *topo.Topology, tables *Tables, opts PlanOpts, aonRouting *mcf.Routing) error {
+	rounds := opts.N - 2
+	// Stress accumulates over always-on plus previously computed
+	// on-demand assignments so each round diversifies further.
+	var accum []topo.Path
+	for _, ps := range tables.Pairs {
+		accum = append(accum, ps.AlwaysOn)
+	}
+	excluded := map[topo.LinkID]bool{}
+
+	for round := 0; round < rounds; round++ {
+		sf := StressFactorPaths(t, accum)
+		for id := range ExcludableStressed(t, sf, opts.StressExclude, excluded) {
+			excluded[id] = true
+		}
+		var paths map[[2]topo.NodeID]topo.Path
+		var err error
+		switch opts.Mode {
+		case ModeStress:
+			paths, err = onDemandStress(t, tables, opts, excluded)
+		case ModeSolver:
+			paths, err = onDemandSolver(t, tables, opts, excluded, round)
+		case ModeOSPF:
+			paths, err = onDemandOSPF(t, tables, round)
+		case ModeHeuristic:
+			paths, err = onDemandHeuristic(t, tables, opts)
+		default:
+			err = fmt.Errorf("core: unknown mode %v", opts.Mode)
+		}
+		if err != nil {
+			return fmt.Errorf("core: on-demand round %d: %w", round, err)
+		}
+		for k, p := range paths {
+			tables.Pairs[k].OnDemand = append(tables.Pairs[k].OnDemand, p)
+			accum = append(accum, p)
+		}
+	}
+	return nil
+}
+
+// onDemandStress computes the demand-oblivious on-demand table (§4.2):
+// avoid the top-stressed links and solve the min-power problem for a
+// *uniform* demand sized near the largest uniformly-routable rate, so
+// that the resulting subgraph — unlike the ε-sized always-on tree —
+// retains the capacity needed to absorb peak-hour overflow (the
+// paper's sensitivity result: 20 % exclusion suffices for always-on +
+// on-demand to accommodate peak demands).
+func onDemandStress(t *topo.Topology, tables *Tables, opts PlanOpts,
+	excluded map[topo.LinkID]bool) (map[[2]topo.NodeID]topo.Path, error) {
+
+	avoid := func(a topo.Arc) bool { return excluded[a.Link] }
+	// Shape the sizing demand with the capacity-based gravity estimate
+	// — derived purely from the topology, so the mode stays
+	// demand-oblivious (§5.1 uses the same estimate when matrices are
+	// unavailable) — and size it near the largest routable load while
+	// avoiding the excluded links, derated to 80 % for slack.
+	shape := traffic.Gravity(t, traffic.GravityOpts{Nodes: opts.Nodes, TotalRate: 1})
+	deltaMax := mcf.MaxFeasibleScale(t, shape, mcf.RouteOpts{
+		MaxUtil: opts.MaxUtil, Avoid: avoid,
+	}, 0.05)
+	sizing := traffic.Uniform(opts.Nodes, opts.Epsilon)
+	if deltaMax > 0 {
+		sizing = shape.Scale(0.8 * deltaMax)
+	}
+	if debugOnDemand {
+		fmt.Printf("[core] onDemandStress: excluded=%d deltaMax=%.3g total=%.3g\n",
+			len(excluded), deltaMax, sizing.Total())
+	}
+	low := sizing.Demands()
+	_, routing, err := mcf.OptimalSubset(t, low, opts.Model, mcf.OptimalOpts{
+		RandomRestarts: opts.RandomRestarts,
+		Seed:           opts.Seed + 1,
+		KeepOn:         tables.AlwaysOnSet,
+		Route:          mcf.RouteOpts{MaxUtil: opts.MaxUtil, Avoid: avoid},
+	})
+	if err != nil {
+		// ExcludableStressed keeps the graph connected, so this only
+		// triggers on pathological inputs; retry without exclusion
+		// rather than failing the whole plan.
+		_, routing, err = mcf.OptimalSubset(t, low, opts.Model, mcf.OptimalOpts{
+			RandomRestarts: opts.RandomRestarts,
+			Seed:           opts.Seed + 1,
+			KeepOn:         tables.AlwaysOnSet,
+			Route:          mcf.RouteOpts{MaxUtil: opts.MaxUtil},
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return pathsByPair(tables, routing)
+}
+
+// onDemandSolver carries always-on X/Y fixed and solves with d_peak.
+func onDemandSolver(t *topo.Topology, tables *Tables, opts PlanOpts,
+	excluded map[topo.LinkID]bool, round int) (map[[2]topo.NodeID]topo.Path, error) {
+
+	demands := opts.PeakTM.Demands()
+	var avoid func(a topo.Arc) bool
+	if round > 0 { // diversify later tables away from stressed links
+		avoid = func(a topo.Arc) bool { return excluded[a.Link] }
+	}
+	_, routing, err := mcf.OptimalSubset(t, demands, opts.Model, mcf.OptimalOpts{
+		RandomRestarts: opts.RandomRestarts,
+		Seed:           opts.Seed + int64(round)*13,
+		KeepOn:         tables.AlwaysOnSet,
+		Route:          mcf.RouteOpts{MaxUtil: opts.MaxUtil, Avoid: avoid},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pathsByPair(tables, routing)
+}
+
+// onDemandOSPF installs the default OSPF-InvCap routing table as the
+// on-demand set; additional rounds take the next-shortest InvCap path.
+func onDemandOSPF(t *topo.Topology, tables *Tables, round int) (map[[2]topo.NodeID]topo.Path, error) {
+	out := make(map[[2]topo.NodeID]topo.Path)
+	for _, k := range tables.PairKeys() {
+		cands := spf.KShortest(t, k[0], k[1], round+1, spf.Options{Weight: spf.InvCap()})
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("no OSPF path %v", k)
+		}
+		i := round
+		if i >= len(cands) {
+			i = len(cands) - 1
+		}
+		out[k] = cands[i]
+	}
+	return out, nil
+}
+
+// onDemandHeuristic runs the GreenTE-style packer with d_peak.
+// Restricting each pair to its k shortest paths cannot always reach the
+// absolute maximum load (that is GreenTE's documented trade-off), so
+// the peak is derated step-wise until the packer finds a routing; the
+// resulting table is designed for the largest k-routable share of peak.
+func onDemandHeuristic(t *topo.Topology, tables *Tables, opts PlanOpts) (map[[2]topo.NodeID]topo.Path, error) {
+	cands := mcf.CandidatePaths(t, opts.PeakTM.Demands(), 5)
+	var lastErr error
+	for _, derate := range []float64{1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2} {
+		_, routing, err := mcf.KShortestSubset(t, opts.PeakTM.Scale(derate).Demands(),
+			opts.Model, mcf.KShortOpts{
+				K:       5,
+				Paths:   cands,
+				KeepOn:  tables.AlwaysOnSet,
+				MaxUtil: opts.MaxUtil,
+			})
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return pathsByPair(tables, routing)
+	}
+	return nil, lastErr
+}
+
+func pathsByPair(tables *Tables, r *mcf.Routing) (map[[2]topo.NodeID]topo.Path, error) {
+	out := make(map[[2]topo.NodeID]topo.Path, len(tables.Pairs))
+	for _, k := range tables.PairKeys() {
+		p, ok := r.Path(k[0], k[1])
+		if !ok {
+			return nil, fmt.Errorf("no on-demand path %v", k)
+		}
+		out[k] = p
+	}
+	return out, nil
+}
+
+// planFailover finds, per pair, a path maximally link-disjoint from the
+// pair's always-on and on-demand paths (§4.3): strictly disjoint when
+// the graph allows it, otherwise the minimum-overlap path via a heavy
+// penalty on reused links.
+func planFailover(t *topo.Topology, tables *Tables) {
+	for _, k := range tables.PairKeys() {
+		ps := tables.Pairs[k]
+		used := map[topo.LinkID]bool{}
+		for _, p := range ps.Levels() {
+			for _, aid := range p.Arcs {
+				used[t.Arc(aid).Link] = true
+			}
+		}
+		// Strict disjointness first.
+		p, ok := spf.ShortestPath(t, k[0], k[1], spf.Options{
+			Avoid: func(a topo.Arc) bool { return used[a.Link] },
+		})
+		if !ok || p.Empty() {
+			// Minimum overlap: penalize reused links 1000×.
+			p, ok = spf.ShortestPath(t, k[0], k[1], spf.Options{
+				Weight: func(a topo.Arc) float64 {
+					w := a.Latency
+					if used[a.Link] {
+						w *= 1000
+					}
+					return w
+				},
+			})
+			if !ok {
+				continue // disconnected pair: no failover possible
+			}
+		}
+		ps.Failover = p
+	}
+}
+
+// incrementalPathWatts prices the elements p would newly activate
+// beyond active (mirrors mcf's packer costing; kept here to avoid
+// exporting it from mcf for one caller).
+func incrementalPathWatts(t *topo.Topology, m power.Model, active *topo.ActiveSet, p topo.Path) float64 {
+	var w float64
+	seen := map[topo.LinkID]bool{}
+	touch := func(n topo.NodeID) {
+		node := t.Node(n)
+		if node.Kind != topo.KindHost && !active.Router[n] {
+			w += m.ChassisWatts(node)
+		}
+	}
+	if p.Empty() {
+		return 0
+	}
+	touch(p.Origin(t))
+	for _, aid := range p.Arcs {
+		a := t.Arc(aid)
+		touch(a.To)
+		if !active.Link[a.Link] && !seen[a.Link] {
+			seen[a.Link] = true
+			l := t.Link(a.Link)
+			w += m.PortWatts(t.Node(l.A), t.Arc(l.AB)) +
+				m.PortWatts(t.Node(l.B), t.Arc(l.BA)) + 2*m.AmpWatts(l)
+		}
+	}
+	return w
+}
+
+// SetDebug toggles planner tracing (debug builds only).
+func SetDebug(v bool) { debugOnDemand = v }

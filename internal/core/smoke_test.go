@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"response/internal/power"
+	"response/internal/topo"
+	"response/internal/traffic"
+)
+
+// TestSmokeGeantPlan exercises the full planning pipeline on GÉANT.
+func TestSmokeGeantPlan(t *testing.T) {
+	g := topo.NewGeant()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	model := power.Cisco12000{}
+	tb, err := Plan(g, PlanOpts{Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	nodes := DefaultEndpoints(g)
+	wantPairs := len(nodes) * (len(nodes) - 1)
+	if len(tb.Pairs) != wantPairs {
+		t.Fatalf("pairs = %d, want %d", len(tb.Pairs), wantPairs)
+	}
+	r, l := tb.AlwaysOnSet.CountOn()
+	t.Logf("always-on: %d routers, %d links (of %d/%d)", r, l, g.NumNodes(), g.NumLinks())
+	if r != g.NumNodes() {
+		t.Errorf("always-on should keep all routers connected: %d < %d", r, g.NumNodes())
+	}
+	if l >= g.NumLinks() {
+		t.Errorf("always-on uses all links (%d); expected a sparse subgraph", l)
+	}
+	// Power under low demand should be well below full power.
+	low := traffic.Gravity(g, traffic.GravityOpts{TotalRate: 1 * topo.Gbps})
+	res := tb.Evaluate(low, model, 0.9)
+	t.Logf("low-load power: %.1f%% of full, maxUtil %.3f, overloaded %d, levels %v",
+		res.PctOfFull, res.MaxUtil, res.Overloaded, res.LevelUse)
+	if res.PctOfFull >= 95 {
+		t.Errorf("low-load power %.1f%% — no energy savings", res.PctOfFull)
+	}
+	if res.PctOfFull <= 20 {
+		t.Errorf("low-load power %.1f%% — implausibly low", res.PctOfFull)
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"response/internal/topo"
+)
+
+// The paper's stated future work (§6): "quantify the level at which
+// topology changes (failures, routing changes, etc.) would warrant
+// recomputing the energy-critical paths." TopologyChangeImpact answers
+// that question for installed tables: for each hypothetical link
+// failure it reports how many pairs lose each table level and how many
+// lose *all* levels (the only event that forces a replan, since the
+// online component survives anything less by shifting to surviving
+// levels).
+type TopologyChangeImpact struct {
+	Link topo.LinkID
+	// LostAlwaysOn / LostOnDemand / LostFailover count pairs whose
+	// respective paths traverse the failed link.
+	LostAlwaysOn int
+	LostOnDemand int
+	LostFailover int
+	// Disconnected counts pairs with no surviving installed path —
+	// these pairs make the failure replan-worthy.
+	Disconnected int
+}
+
+// ReplanWorthy reports whether this failure leaves some pair with no
+// installed path at all.
+func (i TopologyChangeImpact) ReplanWorthy() bool { return i.Disconnected > 0 }
+
+// AnalyzeTopologyChanges evaluates every single-link failure against
+// the installed tables.
+func (tb *Tables) AnalyzeTopologyChanges() []TopologyChangeImpact {
+	t := tb.Topo
+	out := make([]TopologyChangeImpact, 0, t.NumLinks())
+	for _, l := range t.Links() {
+		impact := TopologyChangeImpact{Link: l.ID}
+		for _, ps := range tb.Pairs {
+			hitAON := ps.AlwaysOn.UsesLink(t, l.ID)
+			hitFO := !ps.Failover.Empty() && ps.Failover.UsesLink(t, l.ID)
+			if hitAON {
+				impact.LostAlwaysOn++
+			}
+			if hitFO {
+				impact.LostFailover++
+			}
+			survivors := 0
+			if !ps.AlwaysOn.Empty() && !hitAON {
+				survivors++
+			}
+			for _, p := range ps.OnDemand {
+				if p.Empty() {
+					continue
+				}
+				if p.UsesLink(t, l.ID) {
+					impact.LostOnDemand++
+				} else {
+					survivors++
+				}
+			}
+			if !ps.Failover.Empty() && !hitFO {
+				survivors++
+			}
+			if survivors == 0 {
+				impact.Disconnected++
+			}
+		}
+		out = append(out, impact)
+	}
+	return out
+}
+
+// ReplanWorthyFailures returns the links whose single failure would
+// force recomputing the tables (some pair loses every installed path).
+// On well-connected topologies this should be only bridges.
+func (tb *Tables) ReplanWorthyFailures() []topo.LinkID {
+	var out []topo.LinkID
+	for _, impact := range tb.AnalyzeTopologyChanges() {
+		if impact.ReplanWorthy() {
+			out = append(out, impact.Link)
+		}
+	}
+	return out
+}
+
+// Truncate returns a copy of the tables keeping only the first n
+// levels per pair (n >= 2: always-on plus n-2 on-demand; the failover
+// path is kept as the final level whenever n >= 2 allows it). This
+// models memory-limited deployments such as Dual Topology Routing
+// (§4.5: "if the routing memory is limited ... we can deploy only the
+// most important routing tables").
+func (tb *Tables) Truncate(n int) *Tables {
+	if n < 2 {
+		n = 2
+	}
+	out := &Tables{
+		Topo:        tb.Topo,
+		Pairs:       make(map[[2]topo.NodeID]*PathSet, len(tb.Pairs)),
+		AlwaysOnSet: tb.AlwaysOnSet.Clone(),
+		Variant:     tb.Variant + "-truncated",
+	}
+	for k, ps := range tb.Pairs {
+		keep := &PathSet{AlwaysOn: ps.AlwaysOn, Failover: ps.Failover}
+		budget := n - 2 // on-demand slots after always-on + failover
+		for _, p := range ps.OnDemand {
+			if budget <= 0 {
+				break
+			}
+			keep.OnDemand = append(keep.OnDemand, p)
+			budget--
+		}
+		out.Pairs[k] = keep
+	}
+	return out
+}

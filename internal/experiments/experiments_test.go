@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"response/internal/topo"
+)
+
+func TestEndpointSubset(t *testing.T) {
+	g := topo.NewGeant()
+	sub := EndpointSubset(g, 0.7, 1)
+	if len(sub) != 16 { // 0.7 × 23 rounded
+		t.Errorf("subset size = %d, want 16", len(sub))
+	}
+	again := EndpointSubset(g, 0.7, 1)
+	for i := range sub {
+		if sub[i] != again[i] {
+			t.Fatal("subset not deterministic")
+		}
+	}
+	if len(EndpointSubset(g, 2.0, 1)) != 23 {
+		t.Error("fraction >= 1 should return all")
+	}
+	if len(EndpointSubset(g, 0.0, 1)) != 2 {
+		t.Error("tiny fraction should clamp to 2 endpoints")
+	}
+	for i := 1; i < len(sub); i++ {
+		if sub[i] <= sub[i-1] {
+			t.Fatal("subset not sorted")
+		}
+	}
+}
+
+func TestGeantTraceShape(t *testing.T) {
+	g, endpoints, series := GeantTrace(1, 0.2, 0.7, 7)
+	if g.NumNodes() != 23 {
+		t.Error("wrong topology")
+	}
+	if len(endpoints) != 16 {
+		t.Errorf("endpoints = %d", len(endpoints))
+	}
+	if len(series.Matrices) != 96 { // 1 day of 15-min intervals
+		t.Errorf("intervals = %d, want 96", len(series.Matrices))
+	}
+	// Demands only between selected endpoints.
+	inSet := map[topo.NodeID]bool{}
+	for _, e := range endpoints {
+		inSet[e] = true
+	}
+	for _, d := range series.Matrices[0].Demands() {
+		if !inSet[d.O] || !inSet[d.D] {
+			t.Fatalf("demand %d->%d outside endpoint subset", d.O, d.D)
+		}
+	}
+}
+
+func TestRunFig1a(t *testing.T) {
+	res := RunFig1a(1)
+	if res.FracGE20 < 0.25 || res.FracGE20 > 0.75 {
+		t.Errorf("FracGE20 = %.2f, want ≈0.5", res.FracGE20)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 1a") {
+		t.Error("print output malformed")
+	}
+}
+
+func TestRunFig1bAndDerived(t *testing.T) {
+	res, err := RunFig1b(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RatePerHour) != 24 {
+		t.Errorf("hours = %d, want 24", len(res.RatePerHour))
+	}
+	if res.MaxPerHour > 1 {
+		t.Errorf("stride-4 (hourly) replay cannot exceed 1/hour, got %v", res.MaxPerHour)
+	}
+	if len(res.Dominance) == 0 {
+		t.Fatal("no configurations")
+	}
+	if len(res.Coverage.MeanTopX) != 5 {
+		t.Fatal("coverage depth wrong")
+	}
+	// Figure 2b headline on GÉANT: 3 paths cover nearly everything.
+	if res.Coverage.MeanTopX[2] < 0.9 {
+		t.Errorf("top-3 coverage %.2f < 0.9", res.Coverage.MeanTopX[2])
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	res.PrintFig2a(&buf)
+	for _, want := range []string{"Figure 1b", "Figure 2a", "recomputations"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}
+
+func TestRunFig4Shape(t *testing.T) {
+	res, err := RunFig4(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Near) != 8 || len(res.Far) != 8 {
+		t.Fatalf("series lengths %d/%d", len(res.Near), len(res.Far))
+	}
+	// The paper's ordering: near <= far <= ecmp = 100.
+	for i := range res.Near {
+		if res.Near[i] > res.Far[i]+1e-9 {
+			t.Errorf("step %d: near %.1f > far %.1f", i, res.Near[i], res.Far[i])
+		}
+		if res.Far[i] > 100+1e-9 {
+			t.Errorf("step %d: far %.1f > 100", i, res.Far[i])
+		}
+	}
+	// Far traffic must show diurnal power variation.
+	if !(max64(res.Far) > min64(res.Far)) {
+		t.Error("far power flat: no energy proportionality")
+	}
+}
+
+func TestRunFig7Timeline(t *testing.T) {
+	res, err := RunFig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consolidation within ≈2 RTTs (0.2 s) + a sampling period.
+	if res.ConsolidatedAt < 5 || res.ConsolidatedAt > 5.5 {
+		t.Errorf("consolidated at %.2f, want shortly after 5.0", res.ConsolidatedAt)
+	}
+	// Restoration after 5.7 + 0.1 detect + 0.01 wake (+ slack).
+	if res.RestoredAt < 5.7 || res.RestoredAt > 6.3 {
+		t.Errorf("restored at %.2f, want ≈5.85", res.RestoredAt)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "consolidated") {
+		t.Error("print output malformed")
+	}
+}
+
+func TestRunAlwaysOnShare(t *testing.T) {
+	res, err := RunAlwaysOnShare(topo.NewGeant())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Share <= 0.05 || res.Share > 1.0001 {
+		t.Errorf("share = %.2f out of plausible range", res.Share)
+	}
+}
+
+func TestRunWebIncrease(t *testing.T) {
+	res, err := RunWeb()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IncreasePct < 0 {
+		t.Errorf("REsPoNse-lat should not be faster than InvCap: %+.1f%%", res.IncreasePct)
+	}
+	if res.IncreasePct > 30 {
+		t.Errorf("latency increase %.1f%% far above the paper's ≈9%%", res.IncreasePct)
+	}
+}
+
+func max64(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func min64(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

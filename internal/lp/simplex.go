@@ -1,0 +1,325 @@
+package lp
+
+import (
+	"math"
+)
+
+// solver tolerances.
+const (
+	epsPivot = 1e-9 // minimum pivot magnitude
+	epsZero  = 1e-9 // treat |x| below this as zero
+	epsFeas  = 1e-7 // feasibility tolerance on phase-1 objective
+)
+
+// Solve runs the two-phase primal simplex on the LP relaxation of p
+// (integrality marks are ignored; see SolveMIP for branch-and-bound).
+func Solve(p *Problem) (Solution, error) {
+	if err := p.validate(); err != nil {
+		return Solution{Status: Infeasible}, err
+	}
+	t, err := newTableau(p)
+	if err != nil {
+		return Solution{Status: Infeasible}, err
+	}
+	status := t.solveTwoPhase()
+	sol := Solution{Status: status}
+	if status == Optimal {
+		sol.X = t.extract(p)
+		sol.Objective = p.ObjectiveValue(sol.X)
+	}
+	return sol, nil
+}
+
+// tableau is a dense standard-form simplex tableau.
+//
+// Standard form: min c'y  s.t.  A y = b, y >= 0, with b >= 0 after row
+// normalization. Original variables are shifted by their lower bounds;
+// finite upper bounds become explicit rows. Columns are laid out as
+// [shifted originals | slacks/surplus | artificials].
+type tableau struct {
+	m, n    int // rows, structural+slack columns (artificials appended after n)
+	nOrig   int
+	nTotal  int         // n + artificials
+	a       [][]float64 // m rows × nTotal cols
+	b       []float64   // m
+	cost    []float64   // phase-2 costs per column (length nTotal)
+	basis   []int       // basic column per row
+	lo      []float64   // original lower bounds (for extraction)
+	artBase int         // first artificial column
+	maxIter int
+}
+
+func newTableau(p *Problem) (*tableau, error) {
+	nOrig := len(p.vars)
+	// Count rows: every constraint, plus one per finite upper bound.
+	type row struct {
+		terms []Term
+		rel   Rel
+		rhs   float64
+	}
+	rows := make([]row, 0, len(p.cons)+nOrig)
+	for _, c := range p.cons {
+		rows = append(rows, row{terms: c.Terms, rel: c.Rel, rhs: c.RHS})
+	}
+	lo := make([]float64, nOrig)
+	for i, v := range p.vars {
+		lo[i] = v.lo
+		if !math.IsInf(v.hi, 1) {
+			rows = append(rows, row{
+				terms: []Term{{Var: VarID(i), Coef: 1}},
+				rel:   LE,
+				rhs:   v.hi,
+			})
+		}
+	}
+	m := len(rows)
+	// Shift variables: y_i = x_i - lo_i >= 0 ⇒ rhs -= Σ a_ij lo_j.
+	// Count slack columns.
+	nSlack := 0
+	for _, r := range rows {
+		if r.rel != EQ {
+			nSlack++
+		}
+	}
+	n := nOrig + nSlack
+	t := &tableau{
+		m: m, n: n, nOrig: nOrig,
+		lo:      lo,
+		maxIter: 200 * (m + n + 10),
+	}
+	// Worst case every row needs an artificial.
+	t.nTotal = n + m
+	t.artBase = n
+	t.a = make([][]float64, m)
+	for i := range t.a {
+		t.a[i] = make([]float64, t.nTotal)
+	}
+	t.b = make([]float64, m)
+	t.cost = make([]float64, t.nTotal)
+	for j, v := range p.vars {
+		t.cost[j] = v.obj
+	}
+	t.basis = make([]int, m)
+
+	slack := nOrig
+	nArt := 0
+	for i, r := range rows {
+		rhs := r.rhs
+		for _, tm := range r.terms {
+			t.a[i][tm.Var] += tm.Coef
+			rhs -= tm.Coef * lo[tm.Var]
+		}
+		rel := r.rel
+		// Normalize to rhs >= 0.
+		if rhs < 0 {
+			for j := 0; j < nOrig; j++ {
+				t.a[i][j] = -t.a[i][j]
+			}
+			rhs = -rhs
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		t.b[i] = rhs
+		switch rel {
+		case LE:
+			t.a[i][slack] = 1
+			t.basis[i] = slack
+			slack++
+		case GE:
+			t.a[i][slack] = -1
+			slack++
+			art := t.artBase + nArt
+			nArt++
+			t.a[i][art] = 1
+			t.basis[i] = art
+		case EQ:
+			art := t.artBase + nArt
+			nArt++
+			t.a[i][art] = 1
+			t.basis[i] = art
+		}
+	}
+	t.nTotal = n + nArt
+	// Trim unused artificial columns.
+	for i := range t.a {
+		t.a[i] = t.a[i][:t.nTotal]
+	}
+	t.cost = t.cost[:t.nTotal]
+	return t, nil
+}
+
+// solveTwoPhase runs phase 1 (drive artificials to zero) then phase 2.
+func (t *tableau) solveTwoPhase() Status {
+	if t.nTotal > t.n {
+		// Phase 1: minimize sum of artificials.
+		c1 := make([]float64, t.nTotal)
+		for j := t.artBase; j < t.nTotal; j++ {
+			c1[j] = 1
+		}
+		st, obj := t.iterate(c1, t.nTotal)
+		if st != Optimal {
+			return st
+		}
+		if obj > epsFeas {
+			return Infeasible
+		}
+		// Pivot any artificial still basic (at zero) out if possible.
+		for i := 0; i < t.m; i++ {
+			if t.basis[i] < t.artBase {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < t.n; j++ {
+				if math.Abs(t.a[i][j]) > epsPivot {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: harmless; the artificial stays basic
+				// at zero and phase 2 costs keep it there.
+				_ = pivoted
+			}
+		}
+	}
+	// Phase 2 over structural + slack columns only (artificials get a
+	// prohibitive cost to keep them at zero if still basic).
+	c2 := make([]float64, t.nTotal)
+	copy(c2, t.cost)
+	big := 1.0
+	for _, c := range t.cost {
+		if math.Abs(c) > big {
+			big = math.Abs(c)
+		}
+	}
+	for j := t.artBase; j < t.nTotal; j++ {
+		c2[j] = big * 1e9
+	}
+	st, _ := t.iterate(c2, t.n)
+	return st
+}
+
+// iterate runs simplex iterations with the given cost vector, allowing
+// entering columns in [0, allowCols). Returns status and objective.
+func (t *tableau) iterate(cost []float64, allowCols int) (Status, float64) {
+	// Reduced costs are computed on the fly: r_j = c_j - c_B' B^{-1} A_j.
+	// With a dense tableau kept in canonical form, r_j = c_j - Σ_i
+	// c_basis[i] * a[i][j].
+	degenerate := 0
+	for iter := 0; iter < t.maxIter; iter++ {
+		// Compute basic cost weights.
+		enter := -1
+		var bestR float64
+		useBland := degenerate > 2*(t.m+t.n)
+		for j := 0; j < allowCols; j++ {
+			if t.isBasic(j) {
+				continue
+			}
+			r := cost[j]
+			for i := 0; i < t.m; i++ {
+				cb := cost[t.basis[i]]
+				if cb != 0 {
+					r -= cb * t.a[i][j]
+				}
+			}
+			if r < -1e-9 {
+				if useBland {
+					enter = j
+					break
+				}
+				if enter < 0 || r < bestR {
+					enter, bestR = j, r
+				}
+			}
+		}
+		if enter < 0 {
+			return Optimal, t.objective(cost)
+		}
+		// Ratio test.
+		leave := -1
+		var bestRatio float64
+		for i := 0; i < t.m; i++ {
+			if t.a[i][enter] > epsPivot {
+				ratio := t.b[i] / t.a[i][enter]
+				if leave < 0 || ratio < bestRatio-epsZero ||
+					(math.Abs(ratio-bestRatio) <= epsZero && t.basis[i] < t.basis[leave]) {
+					leave, bestRatio = i, ratio
+				}
+			}
+		}
+		if leave < 0 {
+			return Unbounded, 0
+		}
+		if bestRatio <= epsZero {
+			degenerate++
+		} else {
+			degenerate = 0
+		}
+		t.pivot(leave, enter)
+	}
+	return IterLimit, 0
+}
+
+func (t *tableau) isBasic(col int) bool {
+	for _, b := range t.basis {
+		if b == col {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *tableau) objective(cost []float64) float64 {
+	var s float64
+	for i := 0; i < t.m; i++ {
+		s += cost[t.basis[i]] * t.b[i]
+	}
+	return s
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	piv := t.a[leave][enter]
+	inv := 1 / piv
+	row := t.a[leave]
+	for j := range row {
+		row[j] *= inv
+	}
+	t.b[leave] *= inv
+	for i := 0; i < t.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := t.a[i][enter]
+		if f == 0 {
+			continue
+		}
+		ai := t.a[i]
+		for j := range ai {
+			ai[j] -= f * row[j]
+		}
+		t.b[i] -= f * t.b[leave]
+	}
+	t.basis[leave] = enter
+}
+
+// extract recovers original-variable values (adding back lower bounds).
+func (t *tableau) extract(p *Problem) []float64 {
+	y := make([]float64, t.nTotal)
+	for i, col := range t.basis {
+		y[col] = t.b[i]
+	}
+	x := make([]float64, t.nOrig)
+	for j := 0; j < t.nOrig; j++ {
+		x[j] = y[j] + t.lo[j]
+		if math.Abs(x[j]) < epsZero {
+			x[j] = 0
+		}
+	}
+	return x
+}

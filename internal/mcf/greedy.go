@@ -1,0 +1,245 @@
+package mcf
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"response/internal/power"
+	"response/internal/topo"
+	"response/internal/traffic"
+)
+
+// Order selects the element ordering of the greedy switch-off loop.
+type Order int
+
+// Greedy orderings. PowerDesc is the Chiaraviglio et al. heuristic:
+// try to power off the most power-hungry devices first.
+const (
+	PowerDesc Order = iota
+	PowerAsc
+	DegreeAsc
+	Random
+)
+
+// GreedyOpts parameterizes GreedyMinSubset.
+type GreedyOpts struct {
+	Order Order
+	// Seed drives the Random order.
+	Seed int64
+	// KeepOn pins elements on (e.g. always-on elements when computing
+	// on-demand paths with X,Y carried over — §4.2).
+	KeepOn *topo.ActiveSet
+	// Route configures feasibility checks.
+	Route RouteOpts
+	// Check, when non-nil, vets each candidate routing beyond capacity
+	// (e.g. the REsPoNse-lat delay bound, §4.1 constraint 4); a
+	// non-nil error keeps the tried element powered.
+	Check func(*Routing) error
+}
+
+// GreedyMinSubset computes a minimal (w.r.t. inclusion) set of network
+// elements that can carry the demands, in the style of Chiaraviglio et
+// al.: starting from the full network, repeatedly power off the next
+// candidate element and keep it off if the demands still route.
+//
+// It returns the active set (with model invariants enforced) and the
+// routing found on it.
+func GreedyMinSubset(t *topo.Topology, demands []traffic.Demand, m power.Model,
+	opts GreedyOpts) (*topo.ActiveSet, *Routing, error) {
+
+	active := topo.AllOn(t)
+	ro := opts.Route
+	ro.Active = active
+	routing, err := RouteDemands(t, demands, ro)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.Check != nil {
+		if err := opts.Check(routing); err != nil {
+			return nil, nil, fmt.Errorf("mcf: baseline routing rejected: %w", err)
+		}
+	}
+
+	// Candidate elements: routers then links, in the chosen order.
+	type cand struct {
+		isRouter bool
+		router   topo.NodeID
+		link     topo.LinkID
+		watts    float64
+		degree   int
+	}
+	var cands []cand
+	for _, n := range t.Nodes() {
+		if n.Kind == topo.KindHost {
+			continue
+		}
+		if opts.KeepOn != nil && opts.KeepOn.Router[n.ID] {
+			continue
+		}
+		w := m.ChassisWatts(n)
+		for _, aid := range t.Out(n.ID) {
+			w += m.PortWatts(n, t.Arc(aid))
+		}
+		cands = append(cands, cand{isRouter: true, router: n.ID, watts: w, degree: t.Degree(n.ID)})
+	}
+	for _, l := range t.Links() {
+		if opts.KeepOn != nil && opts.KeepOn.Link[l.ID] {
+			continue
+		}
+		w := m.PortWatts(t.Node(l.A), t.Arc(l.AB)) +
+			m.PortWatts(t.Node(l.B), t.Arc(l.BA)) + 2*m.AmpWatts(l)
+		cands = append(cands, cand{isRouter: false, link: l.ID, watts: w})
+	}
+	switch opts.Order {
+	case PowerDesc:
+		sort.SliceStable(cands, func(i, j int) bool { return cands[i].watts > cands[j].watts })
+	case PowerAsc:
+		sort.SliceStable(cands, func(i, j int) bool { return cands[i].watts < cands[j].watts })
+	case DegreeAsc:
+		sort.SliceStable(cands, func(i, j int) bool {
+			if cands[i].isRouter != cands[j].isRouter {
+				return cands[i].isRouter // routers first
+			}
+			return cands[i].degree < cands[j].degree
+		})
+	case Random:
+		rng := rand.New(rand.NewSource(opts.Seed))
+		rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	}
+
+	for _, c := range cands {
+		trial := active.Clone()
+		if c.isRouter {
+			if !trial.Router[c.router] {
+				continue
+			}
+			trial.Router[c.router] = false
+		} else {
+			if !trial.Link[c.link] {
+				continue
+			}
+			trial.Link[c.link] = false
+		}
+		trial.EnforceInvariants(t)
+		if violatesKeepOn(trial, opts.KeepOn) {
+			continue
+		}
+		ro.Active = trial
+		r, err := RouteDemands(t, demands, ro)
+		if err != nil {
+			continue // must stay on
+		}
+		if opts.Check != nil && opts.Check(r) != nil {
+			continue // violates the caller's constraint (e.g. delay bound)
+		}
+		active = trial
+		routing = r
+	}
+	// Drop elements the final routing does not touch (constraint 3
+	// tightening): an on element carrying nothing can sleep unless
+	// pinned.
+	trimIdle(t, active, routing, opts.KeepOn)
+	return active, routing, nil
+}
+
+func violatesKeepOn(a, keep *topo.ActiveSet) bool {
+	if keep == nil {
+		return false
+	}
+	for i, on := range keep.Router {
+		if on && !a.Router[i] {
+			return true
+		}
+	}
+	for i, on := range keep.Link {
+		if on && !a.Link[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// trimIdle powers off active elements that carry no traffic and are not
+// pinned, then re-enforces invariants.
+func trimIdle(t *topo.Topology, active *topo.ActiveSet, r *Routing, keep *topo.ActiveSet) {
+	used := r.UsedElements(t)
+	for _, l := range t.Links() {
+		if active.Link[l.ID] && !used.Link[l.ID] && (keep == nil || !keep.Link[l.ID]) {
+			active.Link[l.ID] = false
+		}
+	}
+	for _, n := range t.Nodes() {
+		if n.Kind == topo.KindHost {
+			continue
+		}
+		if active.Router[n.ID] && !used.Router[n.ID] && (keep == nil || !keep.Router[n.ID]) {
+			active.Router[n.ID] = false
+		}
+	}
+	active.EnforceInvariants(t)
+	// Sources and destinations must stay on even if EnforceInvariants
+	// would drop isolated routers; re-activate endpoints of paths.
+	for _, p := range r.Paths {
+		active.ActivatePath(t, p)
+	}
+}
+
+// OptimalOpts parameterizes the multi-restart "optimal" stand-in.
+type OptimalOpts struct {
+	// RandomRestarts adds this many random-order greedy runs to the
+	// deterministic orderings (default 4).
+	RandomRestarts int
+	Seed           int64
+	KeepOn         *topo.ActiveSet
+	Route          RouteOpts
+	// Check is forwarded to every greedy run (see GreedyOpts.Check).
+	Check func(*Routing) error
+}
+
+// OptimalSubset approximates the paper's CPLEX-computed minimum network
+// subset by taking the best (lowest-power) result across greedy runs
+// with several element orderings plus random restarts, followed by a
+// local-search pass. DESIGN.md §3 documents this substitution; tests
+// cross-check it against the exact MILP on small instances.
+func OptimalSubset(t *topo.Topology, demands []traffic.Demand, m power.Model,
+	opts OptimalOpts) (*topo.ActiveSet, *Routing, error) {
+
+	if opts.RandomRestarts == 0 {
+		opts.RandomRestarts = 4
+	}
+	type result struct {
+		active  *topo.ActiveSet
+		routing *Routing
+		watts   float64
+	}
+	var best *result
+	try := func(g GreedyOpts) error {
+		a, r, err := GreedyMinSubset(t, demands, m, g)
+		if err != nil {
+			return err
+		}
+		w := power.NetworkWatts(t, m, a)
+		if best == nil || w < best.watts {
+			best = &result{active: a, routing: r, watts: w}
+		}
+		return nil
+	}
+	base := GreedyOpts{KeepOn: opts.KeepOn, Route: opts.Route, Check: opts.Check}
+	for _, ord := range []Order{PowerDesc, DegreeAsc, PowerAsc} {
+		g := base
+		g.Order = ord
+		if err := try(g); err != nil {
+			return nil, nil, err
+		}
+	}
+	for i := 0; i < opts.RandomRestarts; i++ {
+		g := base
+		g.Order = Random
+		g.Seed = opts.Seed + int64(i)*7919
+		if err := try(g); err != nil {
+			return nil, nil, err
+		}
+	}
+	return best.active, best.routing, nil
+}

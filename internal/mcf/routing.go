@@ -1,0 +1,257 @@
+// Package mcf implements the paper's energy-aware routing machinery
+// (§2.2): the multi-commodity-flow model with element power states, an
+// unsplittable-flow feasibility router, the greedy minimum-subset
+// heuristic family (Chiaraviglio-style, with multi-ordering restarts
+// and local search standing in for the CPLEX "optimal"), a GreenTE-like
+// k-shortest-paths heuristic, and the exact MILP formulation for
+// cross-checks at Figure 3 scale.
+package mcf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"response/internal/spf"
+	"response/internal/topo"
+	"response/internal/traffic"
+)
+
+// ErrInfeasible reports that demands cannot be routed on the active
+// subgraph within capacity.
+var ErrInfeasible = errors.New("mcf: demands not routable on active subgraph")
+
+// Routing maps every (O,D) demand to a single path (the binary f
+// variables of §2.2.1) and tracks the per-arc load it induces.
+type Routing struct {
+	Paths map[[2]topo.NodeID]topo.Path
+	Load  []float64 // bits/s per arc
+}
+
+// NewRouting returns an empty routing for t.
+func NewRouting(t *topo.Topology) *Routing {
+	return &Routing{
+		Paths: make(map[[2]topo.NodeID]topo.Path),
+		Load:  make([]float64, t.NumArcs()),
+	}
+}
+
+// Path returns the path assigned to (o,d).
+func (r *Routing) Path(o, d topo.NodeID) (topo.Path, bool) {
+	p, ok := r.Paths[[2]topo.NodeID{o, d}]
+	return p, ok
+}
+
+// Assign records p for (o,d) with the given rate, updating loads.
+func (r *Routing) Assign(o, d topo.NodeID, p topo.Path, rate float64) {
+	r.Paths[[2]topo.NodeID{o, d}] = p
+	for _, aid := range p.Arcs {
+		r.Load[aid] += rate
+	}
+}
+
+// Unassign removes the (o,d) path, subtracting its load.
+func (r *Routing) Unassign(o, d topo.NodeID, rate float64) {
+	k := [2]topo.NodeID{o, d}
+	p, ok := r.Paths[k]
+	if !ok {
+		return
+	}
+	for _, aid := range p.Arcs {
+		r.Load[aid] -= rate
+		if r.Load[aid] < 0 {
+			r.Load[aid] = 0
+		}
+	}
+	delete(r.Paths, k)
+}
+
+// MaxUtilization returns the maximum load/capacity over all arcs.
+func (r *Routing) MaxUtilization(t *topo.Topology) float64 {
+	var mx float64
+	for i, l := range r.Load {
+		if l == 0 {
+			continue
+		}
+		if u := l / t.Arc(topo.ArcID(i)).Capacity; u > mx {
+			mx = u
+		}
+	}
+	return mx
+}
+
+// UsedElements returns the active set implied by the routing: every
+// router and link on some assigned path, with model invariants applied.
+func (r *Routing) UsedElements(t *topo.Topology) *topo.ActiveSet {
+	a := topo.AllOff(t)
+	for _, p := range r.Paths {
+		a.ActivatePath(t, p)
+	}
+	return a
+}
+
+// Validate checks structural soundness: each path is simple, connects
+// its (O,D) pair, and Load is consistent with the given demands.
+func (r *Routing) Validate(t *topo.Topology, demands []traffic.Demand) error {
+	load := make([]float64, t.NumArcs())
+	for _, d := range demands {
+		p, ok := r.Paths[[2]topo.NodeID{d.O, d.D}]
+		if !ok {
+			return fmt.Errorf("mcf: demand %d->%d unrouted", d.O, d.D)
+		}
+		if err := p.Check(t); err != nil {
+			return fmt.Errorf("mcf: demand %d->%d: %w", d.O, d.D, err)
+		}
+		if p.Empty() {
+			// Legal for self-demands and zero-rate placeholders.
+			if d.O != d.D && d.Rate != 0 {
+				return fmt.Errorf("mcf: demand %d->%d got empty path", d.O, d.D)
+			}
+			continue
+		}
+		if p.Origin(t) != d.O || p.Destination(t) != d.D {
+			return fmt.Errorf("mcf: demand %d->%d path endpoints %d->%d",
+				d.O, d.D, p.Origin(t), p.Destination(t))
+		}
+		for _, aid := range p.Arcs {
+			load[aid] += d.Rate
+		}
+	}
+	for i := range load {
+		if math.Abs(load[i]-r.Load[i]) > 1e-6*(1+load[i]) {
+			return fmt.Errorf("mcf: arc %d load mismatch: %.3f vs %.3f", i, r.Load[i], load[i])
+		}
+	}
+	return nil
+}
+
+// RouteOpts parameterizes the feasibility router.
+type RouteOpts struct {
+	// Active restricts routing to powered elements (nil = all on).
+	Active *topo.ActiveSet
+	// Weight is the base arc weight (default latency).
+	Weight spf.WeightFunc
+	// Avoid excludes arcs (stress-factor exclusion, failures, ...).
+	Avoid func(a topo.Arc) bool
+	// MaxUtil caps per-arc utilization; effective capacity is
+	// MaxUtil × capacity (default 1.0). This realizes the paper's
+	// safety margin sm (§4.5).
+	MaxUtil float64
+	// LoadPenalty steers paths away from loaded arcs: the weight is
+	// multiplied by (1 + LoadPenalty·util). Default 3.
+	LoadPenalty float64
+}
+
+func (o *RouteOpts) defaults() {
+	if o.Weight == nil {
+		o.Weight = spf.Latency()
+	}
+	if o.MaxUtil == 0 {
+		o.MaxUtil = 1.0
+	}
+	if o.LoadPenalty == 0 {
+		o.LoadPenalty = 3
+	}
+}
+
+// RouteDemands routes every demand unsplittably on the (optionally
+// restricted) subgraph, never exceeding MaxUtil per arc. Demands are
+// placed largest-first (first-fit-decreasing) over a load-penalized
+// shortest path, which is the classic bin-packing-style heuristic the
+// literature uses for this NP-hard feasibility problem (§2.2.2).
+// Because first-fit is not monotone in load, a failed pass is retried
+// with stronger spreading penalties before giving up.
+//
+// It returns ErrInfeasible if some demand cannot be placed.
+func RouteDemands(t *topo.Topology, demands []traffic.Demand, opts RouteOpts) (*Routing, error) {
+	opts.defaults()
+	ladder := []float64{opts.LoadPenalty, opts.LoadPenalty * 4, 0}
+	var lastErr error
+	for _, penalty := range ladder {
+		o := opts
+		o.LoadPenalty = penalty
+		r, err := routePass(t, demands, o)
+		if err == nil {
+			return r, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// routePass is one first-fit-decreasing placement attempt.
+func routePass(t *topo.Topology, demands []traffic.Demand, opts RouteOpts) (*Routing, error) {
+	r := NewRouting(t)
+	ordered := append([]traffic.Demand(nil), demands...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Rate > ordered[j].Rate })
+
+	for _, d := range ordered {
+		if d.O == d.D || d.Rate == 0 {
+			r.Paths[[2]topo.NodeID{d.O, d.D}] = topo.Path{}
+			continue
+		}
+		p, ok := routeOne(t, r.Load, d, opts)
+		if !ok {
+			return nil, fmt.Errorf("%w: %d->%d rate %.3g", ErrInfeasible, d.O, d.D, d.Rate)
+		}
+		r.Assign(d.O, d.D, p, d.Rate)
+	}
+	return r, nil
+}
+
+// routeOne finds a path for one demand under current loads.
+func routeOne(t *topo.Topology, load []float64, d traffic.Demand, opts RouteOpts) (topo.Path, bool) {
+	base := opts.Weight
+	w := func(a topo.Arc) float64 {
+		capa := a.Capacity * opts.MaxUtil
+		if load[a.ID]+d.Rate > capa+1e-9 {
+			return math.Inf(1) // would overflow: prune
+		}
+		util := load[a.ID] / capa
+		return base(a) * (1 + opts.LoadPenalty*util)
+	}
+	p, ok := spf.ShortestPath(t, d.O, d.D, spf.Options{
+		Weight: w,
+		Active: opts.Active,
+		Avoid:  opts.Avoid,
+	})
+	if !ok || p.Empty() {
+		return topo.Path{}, false
+	}
+	return p, true
+}
+
+// Feasible reports whether all demands fit on the active subgraph.
+func Feasible(t *topo.Topology, demands []traffic.Demand, opts RouteOpts) bool {
+	_, err := RouteDemands(t, demands, opts)
+	return err == nil
+}
+
+// RouteOnPaths routes each demand on a fixed per-OD path choice
+// (installed tables), checking capacity. Used to evaluate precomputed
+// REsPoNse tables against a matrix without re-optimizing.
+func RouteOnPaths(t *topo.Topology, demands []traffic.Demand,
+	choose func(o, d topo.NodeID) topo.Path, maxUtil float64) (*Routing, error) {
+	if maxUtil == 0 {
+		maxUtil = 1.0
+	}
+	r := NewRouting(t)
+	for _, d := range demands {
+		if d.O == d.D || d.Rate == 0 {
+			continue
+		}
+		p := choose(d.O, d.D)
+		if p.Empty() {
+			return nil, fmt.Errorf("%w: no installed path %d->%d", ErrInfeasible, d.O, d.D)
+		}
+		r.Assign(d.O, d.D, p, d.Rate)
+	}
+	for _, a := range t.Arcs() {
+		if r.Load[a.ID] > a.Capacity*maxUtil+1e-6 {
+			return r, fmt.Errorf("%w: arc %d overloaded (%.3g > %.3g)",
+				ErrInfeasible, a.ID, r.Load[a.ID], a.Capacity*maxUtil)
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,41 @@
+// Package sim is an event-driven fluid-flow network simulator standing
+// in for the paper's ns-2 simulations, Click testbed and ModelNet
+// emulation (§5.3–5.4; DESIGN.md §3 documents the substitution).
+//
+// Links have capacity, propagation delay and a power state (active,
+// sleeping, waking, failed); flows are fluid and share links max-min
+// fairly across the paths they are assigned to. The simulator tracks
+// network power over time through a power.Meter and delivers delayed
+// notifications (probe RTTs, failure detection/propagation, wake-up
+// completion) so that reaction times measured in RTTs are faithful.
+package sim
+
+import "container/heap"
+
+// event is a scheduled callback.
+type event struct {
+	at  float64
+	seq uint64 // FIFO tie-break for simultaneous events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+var _ heap.Interface = (*eventHeap)(nil)

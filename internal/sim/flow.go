@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"response/internal/topo"
+)
+
+// Flow is a fluid traffic aggregate from O to D with an offered demand
+// split across installed paths by per-path shares. The achieved rate on
+// each path is set by max-min fair sharing of link capacities among all
+// subflows in the network.
+type Flow struct {
+	ID     int
+	O, D   topo.NodeID
+	Demand float64 // offered rate, bits/s
+
+	// Paths are the installed table levels for this flow's pair.
+	Paths []topo.Path
+	// Share is the fraction of Demand offered to each path; the
+	// controller moves share between levels. Sums to <= 1.
+	Share []float64
+
+	// pathRate is the achieved rate per path after allocation.
+	pathRate []float64
+
+	// CumulativeBytes integrates the achieved rate; application
+	// workloads (streaming blocks, web transfers) read it.
+	CumulativeBytes float64
+	lastIntegrate   float64
+}
+
+// Rate returns the flow's total achieved rate.
+func (f *Flow) Rate() float64 {
+	var s float64
+	for _, r := range f.pathRate {
+		s += r
+	}
+	return s
+}
+
+// PathRate returns the achieved rate on path level i.
+func (f *Flow) PathRate(i int) float64 {
+	if i < 0 || i >= len(f.pathRate) {
+		return 0
+	}
+	return f.pathRate[i]
+}
+
+// ShareOf returns the current share on level i.
+func (f *Flow) ShareOf(i int) float64 {
+	if i < 0 || i >= len(f.Share) {
+		return 0
+	}
+	return f.Share[i]
+}
+
+// AddFlow installs a flow with all share initially on level 0.
+func (s *Simulator) AddFlow(o, d topo.NodeID, demand float64, paths []topo.Path) (*Flow, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("sim: flow %d->%d needs at least one path", o, d)
+	}
+	for i, p := range paths {
+		if p.Empty() {
+			continue
+		}
+		if err := p.Check(s.T); err != nil {
+			return nil, fmt.Errorf("sim: flow %d->%d path %d: %w", o, d, i, err)
+		}
+	}
+	f := &Flow{
+		ID:       len(s.flows),
+		O:        o,
+		D:        d,
+		Demand:   demand,
+		Paths:    paths,
+		Share:    make([]float64, len(paths)),
+		pathRate: make([]float64, len(paths)),
+	}
+	f.Share[0] = 1
+	f.lastIntegrate = s.now
+	s.flows = append(s.flows, f)
+	s.markDirty()
+	return f, nil
+}
+
+// Flows returns all installed flows.
+func (s *Simulator) Flows() []*Flow { return s.flows }
+
+// SetDemand changes a flow's offered rate at the current time.
+func (s *Simulator) SetDemand(f *Flow, demand float64) {
+	s.integrate(f)
+	f.Demand = demand
+	s.markDirty()
+}
+
+// SetShare overwrites a flow's share vector (normalizing negatives to
+// zero). Callers that need wake-aware shifting should use the te
+// package instead.
+func (s *Simulator) SetShare(f *Flow, share []float64) {
+	s.integrate(f)
+	var sum float64
+	for i := range share {
+		if share[i] < 0 {
+			share[i] = 0
+		}
+		sum += share[i]
+	}
+	if sum > 1+1e-9 {
+		for i := range share {
+			share[i] /= sum
+		}
+	}
+	copy(f.Share, share)
+	s.markDirty()
+}
+
+// ShiftShare moves frac of the flow's total share from level `from` to
+// level `to`, clamped to what `from` holds.
+func (s *Simulator) ShiftShare(f *Flow, from, to int, frac float64) {
+	if from < 0 || from >= len(f.Share) || to < 0 || to >= len(f.Share) || from == to {
+		return
+	}
+	s.integrate(f)
+	amt := math.Min(frac, f.Share[from])
+	if amt <= 0 {
+		return
+	}
+	f.Share[from] -= amt
+	f.Share[to] += amt
+	s.markDirty()
+}
+
+// Bytes returns the flow's cumulative received bytes as of now.
+func (s *Simulator) Bytes(f *Flow) float64 {
+	s.integrate(f)
+	return f.CumulativeBytes
+}
+
+// integrate folds achieved bytes up to now into the flow counter.
+func (s *Simulator) integrate(f *Flow) {
+	dt := s.now - f.lastIntegrate
+	if dt > 0 {
+		f.CumulativeBytes += f.Rate() / 8 * dt
+	}
+	f.lastIntegrate = s.now
+}
+
+// allocate computes max-min fair subflow rates. Each (flow, path) with
+// positive share and a fully active path is a subflow demanding
+// share×Demand; progressive filling freezes the subflows of the
+// currently most-contended link at its fair share.
+func (s *Simulator) allocate() {
+	type subflow struct {
+		flow   *Flow
+		level  int
+		want   float64
+		rate   float64
+		frozen bool
+		arcs   []topo.ArcID
+	}
+	// Integrate everyone before rates change.
+	for _, f := range s.flows {
+		s.integrate(f)
+	}
+	var subs []*subflow
+	arcSubs := make(map[topo.ArcID][]*subflow)
+	for _, f := range s.flows {
+		for i := range f.pathRate {
+			f.pathRate[i] = 0
+		}
+		for i, p := range f.Paths {
+			if f.Share[i] <= 0 || p.Empty() {
+				continue
+			}
+			want := f.Share[i] * f.Demand
+			if want <= 0 {
+				continue
+			}
+			if phase := s.PathPhase(p); phase != LinkActive {
+				// Sleeping/waking/failed paths carry nothing now, but
+				// offered traffic wakes sleeping elements (wake-on-
+				// arrival): the subflow starts once the wake completes.
+				if phase == LinkSleeping {
+					s.RequestWake(p)
+				}
+				continue
+			}
+			sf := &subflow{flow: f, level: i, want: want, arcs: p.Arcs}
+			subs = append(subs, sf)
+			for _, aid := range p.Arcs {
+				arcSubs[aid] = append(arcSubs[aid], sf)
+			}
+		}
+	}
+	if len(subs) == 0 {
+		for i := range s.arcLoad {
+			s.arcLoad[i] = 0
+		}
+		return
+	}
+	capLeft := make(map[topo.ArcID]float64, len(arcSubs))
+	for aid := range arcSubs {
+		capLeft[aid] = s.T.Arc(aid).Capacity
+	}
+	remaining := len(subs)
+	for remaining > 0 {
+		// Fair share per arc among unfrozen subflows.
+		minShare := math.Inf(1)
+		for aid, list := range arcSubs {
+			n := 0
+			for _, sf := range list {
+				if !sf.frozen {
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			if sh := capLeft[aid] / float64(n); sh < minShare {
+				minShare = sh
+			}
+		}
+		if math.IsInf(minShare, 1) {
+			break
+		}
+		// Demand-limited subflows freeze at their want.
+		progressed := false
+		for _, sf := range subs {
+			if sf.frozen || sf.want > minShare+1e-12 {
+				continue
+			}
+			sf.frozen = true
+			sf.rate = sf.want
+			remaining--
+			progressed = true
+			for _, aid := range sf.arcs {
+				capLeft[aid] -= sf.rate
+			}
+		}
+		if progressed {
+			continue
+		}
+		// Otherwise freeze subflows on the bottleneck arc(s) at the
+		// fair share.
+		for aid, list := range arcSubs {
+			n := 0
+			for _, sf := range list {
+				if !sf.frozen {
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			if capLeft[aid]/float64(n) <= minShare+1e-12 {
+				for _, sf := range list {
+					if sf.frozen {
+						continue
+					}
+					sf.frozen = true
+					sf.rate = minShare
+					remaining--
+					for _, a2 := range sf.arcs {
+						capLeft[a2] -= sf.rate
+					}
+				}
+			}
+		}
+	}
+	for i := range s.arcLoad {
+		s.arcLoad[i] = 0
+	}
+	for _, sf := range subs {
+		if sf.rate < 0 {
+			sf.rate = 0
+		}
+		sf.flow.pathRate[sf.level] = sf.rate
+		for _, aid := range sf.arcs {
+			s.arcLoad[aid] += sf.rate
+			// Mark links busy so the idle timer resets.
+			if sf.rate > 1e-9 {
+				s.lastBusy[s.T.Arc(aid).Link] = s.now
+			}
+		}
+	}
+}

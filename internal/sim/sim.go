@@ -1,0 +1,400 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"response/internal/power"
+	"response/internal/topo"
+)
+
+// LinkPhase is the power state of a physical link.
+type LinkPhase uint8
+
+// Link power states. Waking links are powered (they draw power while
+// coming up) but do not forward traffic until the wake completes.
+const (
+	LinkActive LinkPhase = iota
+	LinkSleeping
+	LinkWaking
+	LinkFailed
+)
+
+// String names the phase.
+func (p LinkPhase) String() string {
+	switch p {
+	case LinkActive:
+		return "active"
+	case LinkSleeping:
+		return "sleeping"
+	case LinkWaking:
+		return "waking"
+	case LinkFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("phase(%d)", uint8(p))
+}
+
+// Opts parameterizes a simulation.
+type Opts struct {
+	// WakeUpDelay is the time for a sleeping link to become active
+	// (10 ms in the Click experiment, 5 s in the ns-2 experiments).
+	WakeUpDelay float64
+	// SleepAfterIdle is how long a link must carry zero traffic
+	// before it sleeps (default 100 ms).
+	SleepAfterIdle float64
+	// FailureDetect is the local failure detection time (50 ms, §5.3).
+	FailureDetect float64
+	// FailurePropagate is the time for failure news to reach sources
+	// (50 ms ≈ 3 hops of 16.67 ms, §5.3).
+	FailurePropagate float64
+	// Model meters power when non-nil.
+	Model power.Model
+	// PinnedOn elements never sleep (the always-on set).
+	PinnedOn *topo.ActiveSet
+}
+
+func (o *Opts) defaults() {
+	if o.WakeUpDelay == 0 {
+		o.WakeUpDelay = 0.01
+	}
+	if o.SleepAfterIdle == 0 {
+		o.SleepAfterIdle = 0.1
+	}
+	if o.FailureDetect == 0 {
+		o.FailureDetect = 0.05
+	}
+	if o.FailurePropagate == 0 {
+		o.FailurePropagate = 0.05
+	}
+}
+
+// Simulator runs the event loop over a topology.
+type Simulator struct {
+	T    *topo.Topology
+	opts Opts
+
+	now    float64
+	seq    uint64
+	events eventHeap
+
+	phase    []LinkPhase // per link
+	lastBusy []float64   // per link: last time it carried traffic
+	arcLoad  []float64   // per arc: carried rate, maintained by allocate
+	sleepChk []float64   // per link: time of the pending sleep check (0 = none)
+
+	flows []*Flow
+	dirty bool // rate allocation needs recompute
+
+	meter *power.Meter
+
+	failHandlers []func(now float64, l topo.LinkID)
+	rateSamples  map[int][]Sample // per flow ID
+}
+
+// Sample is one (time, value) observation.
+type Sample struct {
+	Time  float64
+	Value float64
+}
+
+// New builds a simulator with every link initially active.
+func New(t *topo.Topology, opts Opts) *Simulator {
+	opts.defaults()
+	s := &Simulator{
+		T:           t,
+		opts:        opts,
+		phase:       make([]LinkPhase, t.NumLinks()),
+		lastBusy:    make([]float64, t.NumLinks()),
+		arcLoad:     make([]float64, t.NumArcs()),
+		sleepChk:    make([]float64, t.NumLinks()),
+		rateSamples: make(map[int][]Sample),
+	}
+	if opts.Model != nil {
+		s.meter = power.NewMeter(t, opts.Model, s.activeSet())
+	}
+	return s
+}
+
+// Now returns the current simulation time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Schedule runs fn at the given absolute time (>= now).
+func (s *Simulator) Schedule(at float64, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: at, seq: s.seq, fn: fn})
+}
+
+// After runs fn delay seconds from now.
+func (s *Simulator) After(delay float64, fn func()) { s.Schedule(s.now+delay, fn) }
+
+// Run processes events until the given time, then advances the clock
+// to it.
+func (s *Simulator) Run(until float64) {
+	// Mutations made between Run calls (AddFlow, SetDemand, ...) must
+	// take effect at the current time, not after the clock jumps.
+	s.settle()
+	for len(s.events) > 0 && s.events[0].at <= until {
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		e.fn()
+		// Coalesce: apply allocation after all same-time events.
+		if len(s.events) == 0 || s.events[0].at > s.now {
+			s.settle()
+		}
+	}
+	s.now = until
+	s.settle()
+}
+
+// settle recomputes rates if dirty, updates sleep bookkeeping and the
+// power meter.
+func (s *Simulator) settle() {
+	if s.dirty {
+		s.allocate()
+		s.dirty = false
+	}
+	s.scheduleSleeps()
+	if s.meter != nil {
+		s.meter.Observe(s.now, s.activeSet())
+	}
+}
+
+// markDirty forces a rate reallocation at the end of the current tick.
+func (s *Simulator) markDirty() { s.dirty = true }
+
+// LinkState returns the current phase of a link.
+func (s *Simulator) LinkState(l topo.LinkID) LinkPhase { return s.phase[l] }
+
+// LinkCarried returns the traffic (both directions summed per arc) on
+// the link's arcs in bits/s.
+func (s *Simulator) LinkCarried(l topo.LinkID) float64 {
+	lk := s.T.Link(l)
+	return s.arcLoad[lk.AB] + s.arcLoad[lk.BA]
+}
+
+// ArcUtil returns carried/capacity for one arc direction.
+func (s *Simulator) ArcUtil(a topo.ArcID) float64 {
+	return s.arcLoad[a] / s.T.Arc(a).Capacity
+}
+
+// PathUtil returns the maximum arc utilization along a path.
+func (s *Simulator) PathUtil(p topo.Path) float64 {
+	var mx float64
+	for _, aid := range p.Arcs {
+		if u := s.ArcUtil(aid); u > mx {
+			mx = u
+		}
+	}
+	return mx
+}
+
+// PathPhase summarizes a path: Failed if any link failed, else
+// Sleeping if any link sleeps, else Waking if any link wakes, else
+// Active.
+func (s *Simulator) PathPhase(p topo.Path) LinkPhase {
+	worst := LinkActive
+	for _, aid := range p.Arcs {
+		switch s.phase[s.T.Arc(aid).Link] {
+		case LinkFailed:
+			return LinkFailed
+		case LinkSleeping:
+			worst = LinkSleeping
+		case LinkWaking:
+			if worst == LinkActive {
+				worst = LinkWaking
+			}
+		}
+	}
+	return worst
+}
+
+// RequestWake starts waking every sleeping link on p and returns the
+// time at which the whole path will be forwarding (now if already
+// active). Failed links cannot be woken.
+func (s *Simulator) RequestWake(p topo.Path) float64 {
+	ready := s.now
+	for _, aid := range p.Arcs {
+		l := s.T.Arc(aid).Link
+		switch s.phase[l] {
+		case LinkSleeping:
+			s.phase[l] = LinkWaking
+			id := l
+			done := s.now + s.opts.WakeUpDelay
+			s.Schedule(done, func() {
+				if s.phase[id] == LinkWaking {
+					s.phase[id] = LinkActive
+					s.lastBusy[id] = s.now
+					s.markDirty()
+				}
+			})
+			if done > ready {
+				ready = done
+			}
+		case LinkWaking:
+			// Already waking; a fresh wake would complete no later.
+			if done := s.now + s.opts.WakeUpDelay; done > ready {
+				ready = done
+			}
+		}
+	}
+	return ready
+}
+
+// FailLink fails a link at the current time. Registered failure
+// handlers hear about it after detection + propagation delay.
+func (s *Simulator) FailLink(l topo.LinkID) {
+	if s.phase[l] == LinkFailed {
+		return
+	}
+	s.phase[l] = LinkFailed
+	s.markDirty()
+	delay := s.opts.FailureDetect + s.opts.FailurePropagate
+	id := l
+	for _, h := range s.failHandlers {
+		fn := h
+		s.After(delay, func() { fn(s.now, id) })
+	}
+}
+
+// RepairLink returns a failed link to service (active immediately).
+func (s *Simulator) RepairLink(l topo.LinkID) {
+	if s.phase[l] != LinkFailed {
+		return
+	}
+	s.phase[l] = LinkActive
+	s.lastBusy[l] = s.now
+	s.markDirty()
+}
+
+// OnLinkFail registers a handler invoked (after detection and
+// propagation delays) when a link fails.
+func (s *Simulator) OnLinkFail(fn func(now float64, l topo.LinkID)) {
+	s.failHandlers = append(s.failHandlers, fn)
+}
+
+// scheduleSleeps puts links that have been idle long enough to sleep
+// and books future sleep checks for recently idled links.
+func (s *Simulator) scheduleSleeps() {
+	for _, l := range s.T.Links() {
+		id := l.ID
+		if s.phase[id] != LinkActive {
+			continue
+		}
+		if s.opts.PinnedOn != nil && s.opts.PinnedOn.Link[id] {
+			continue
+		}
+		if s.LinkCarried(id) > 1e-9 {
+			s.lastBusy[id] = s.now
+			continue
+		}
+		idle := s.now - s.lastBusy[id]
+		if idle >= s.opts.SleepAfterIdle {
+			s.phase[id] = LinkSleeping
+			s.markDirtyPower()
+		} else {
+			// Check again when the idle timer would expire; dedup so
+			// each link has at most one pending check.
+			at := s.lastBusy[id] + s.opts.SleepAfterIdle
+			if s.sleepChk[id] >= at-1e-12 && s.sleepChk[id] > s.now {
+				continue
+			}
+			s.sleepChk[id] = at
+			lid := id
+			s.Schedule(at, func() {
+				if s.sleepChk[lid] <= s.now+1e-12 {
+					s.sleepChk[lid] = 0
+				}
+				if s.phase[lid] == LinkActive && s.LinkCarried(lid) <= 1e-9 &&
+					(s.opts.PinnedOn == nil || !s.opts.PinnedOn.Link[lid]) &&
+					s.now-s.lastBusy[lid] >= s.opts.SleepAfterIdle-1e-9 {
+					s.phase[lid] = LinkSleeping
+					s.markDirtyPower()
+				}
+			})
+		}
+	}
+}
+
+// markDirtyPower updates the meter without a rate recompute (phase
+// changes that do not affect forwarding).
+func (s *Simulator) markDirtyPower() {
+	if s.meter != nil {
+		s.meter.Observe(s.now, s.activeSet())
+	}
+}
+
+// activeSet derives the powered element set from link phases: a link
+// draws power unless sleeping or failed; a router draws power while
+// any incident link does (constraint 3 of the model).
+func (s *Simulator) activeSet() *topo.ActiveSet {
+	a := topo.AllOff(s.T)
+	for _, l := range s.T.Links() {
+		on := s.phase[l.ID] == LinkActive || s.phase[l.ID] == LinkWaking
+		a.Link[l.ID] = on
+		if on {
+			if s.T.Node(l.A).Kind != topo.KindHost {
+				a.Router[l.A] = true
+			}
+			if s.T.Node(l.B).Kind != topo.KindHost {
+				a.Router[l.B] = true
+			}
+		}
+	}
+	return a
+}
+
+// Meter returns the power meter (nil when no model was configured).
+func (s *Simulator) Meter() *power.Meter { return s.meter }
+
+// PowerPct returns the current power as a percentage of all-on, or 0
+// with no meter.
+func (s *Simulator) PowerPct() float64 {
+	if s.meter == nil {
+		return 0
+	}
+	if n := len(s.meter.Series); n > 0 {
+		return s.meter.Series[n-1].PctOfFull
+	}
+	return 0
+}
+
+// SampleRates records every flow's achieved rate at the current time.
+func (s *Simulator) SampleRates() {
+	for _, f := range s.flows {
+		s.rateSamples[f.ID] = append(s.rateSamples[f.ID], Sample{Time: s.now, Value: f.Rate()})
+	}
+}
+
+// SampleEvery arranges for fn (and a rate sample) to run periodically
+// until the simulator stops being run past the horizon.
+func (s *Simulator) SampleEvery(period, until float64, fn func(now float64)) {
+	var tick func()
+	tick = func() {
+		s.SampleRates()
+		if fn != nil {
+			fn(s.now)
+		}
+		if s.now+period <= until {
+			s.After(period, tick)
+		}
+	}
+	s.After(0, tick)
+}
+
+// RateSamples returns the recorded samples for a flow.
+func (s *Simulator) RateSamples(id int) []Sample { return s.rateSamples[id] }
+
+// MaxArcUtil returns the current worst arc utilization.
+func (s *Simulator) MaxArcUtil() float64 {
+	var mx float64
+	for _, a := range s.T.Arcs() {
+		if u := s.ArcUtil(a.ID); u > mx {
+			mx = u
+		}
+	}
+	return mx
+}

@@ -1,0 +1,341 @@
+// Package spf is the shortest-path substrate: Dijkstra over pluggable
+// arc weights, Yen's K-shortest paths, OSPF-InvCap weights (the paper's
+// Cisco-recommended baseline: link weight = inverse capacity), and ECMP
+// equal-cost path enumeration.
+//
+// All searches refuse to transit through hosts (hosts may only be path
+// endpoints) and can be restricted to the powered subgraph via an
+// ActiveSet.
+package spf
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"response/internal/topo"
+)
+
+// WeightFunc assigns a non-negative routing weight to an arc. Return
+// math.Inf(1) to exclude the arc entirely.
+type WeightFunc func(a topo.Arc) float64
+
+// Latency weights arcs by propagation delay: shortest-delay routing.
+func Latency() WeightFunc {
+	return func(a topo.Arc) float64 { return a.Latency }
+}
+
+// Hops weights every arc 1: minimum-hop routing.
+func Hops() WeightFunc {
+	return func(a topo.Arc) float64 { return 1 }
+}
+
+// InvCap implements the Cisco-recommended OSPF setting (the paper's
+// OSPF-InvCap baseline): link weight inversely proportional to
+// capacity, normalized to a 100 Mb/s reference so weights are O(1).
+func InvCap() WeightFunc {
+	const ref = 100 * topo.Mbps
+	return func(a topo.Arc) float64 { return ref / a.Capacity }
+}
+
+// Options restricts and parameterizes a search.
+type Options struct {
+	// Weight is the arc weight (default Latency).
+	Weight WeightFunc
+	// Active, when non-nil, restricts the search to powered elements.
+	Active *topo.ActiveSet
+	// Avoid, when non-nil, excludes arcs for which it returns true
+	// (used e.g. to skip high-stress links or failed elements).
+	Avoid func(a topo.Arc) bool
+}
+
+func (o Options) weight() WeightFunc {
+	if o.Weight == nil {
+		return Latency()
+	}
+	return o.Weight
+}
+
+// usable reports whether an arc may be traversed under the options.
+func (o Options) usable(t *topo.Topology, a topo.Arc) bool {
+	if o.Active != nil {
+		if !o.Active.Link[a.Link] {
+			return false
+		}
+		if t.Node(a.To).Kind != topo.KindHost && !o.Active.Router[a.To] {
+			return false
+		}
+	}
+	if o.Avoid != nil && o.Avoid(a) {
+		return false
+	}
+	return true
+}
+
+type pqItem struct {
+	node topo.NodeID
+	dist float64
+	idx  int
+}
+
+type pq []*pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i]; q[i].idx = i; q[j].idx = j }
+func (q *pq) Push(x interface{}) { it := x.(*pqItem); it.idx = len(*q); *q = append(*q, it) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// Tree is a single-source shortest-path tree.
+type Tree struct {
+	Source  topo.NodeID
+	Dist    []float64    // per node; +Inf if unreachable
+	PrevArc []topo.ArcID // arc used to reach each node; -1 at source/unreachable
+}
+
+// ShortestTree runs Dijkstra from src under opts. Hosts are never
+// expanded unless they are the source, so paths cannot transit hosts.
+func ShortestTree(t *topo.Topology, src topo.NodeID, opts Options) Tree {
+	n := t.NumNodes()
+	w := opts.weight()
+	tree := Tree{
+		Source:  src,
+		Dist:    make([]float64, n),
+		PrevArc: make([]topo.ArcID, n),
+	}
+	for i := range tree.Dist {
+		tree.Dist[i] = math.Inf(1)
+		tree.PrevArc[i] = -1
+	}
+	if opts.Active != nil && t.Node(src).Kind != topo.KindHost && !opts.Active.Router[src] {
+		return tree
+	}
+	tree.Dist[src] = 0
+	q := &pq{}
+	heap.Push(q, &pqItem{node: src, dist: 0})
+	done := make([]bool, n)
+	for q.Len() > 0 {
+		it := heap.Pop(q).(*pqItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if t.Node(u).Kind == topo.KindHost && u != src {
+			continue // hosts terminate paths
+		}
+		for _, aid := range t.Out(u) {
+			a := t.Arc(aid)
+			if !opts.usable(t, a) {
+				continue
+			}
+			wt := w(a)
+			if math.IsInf(wt, 1) || wt < 0 {
+				continue
+			}
+			if nd := tree.Dist[u] + wt; nd < tree.Dist[a.To] {
+				tree.Dist[a.To] = nd
+				tree.PrevArc[a.To] = aid
+				heap.Push(q, &pqItem{node: a.To, dist: nd})
+			}
+		}
+	}
+	return tree
+}
+
+// PathTo extracts the path from the tree's source to dst.
+func (tr Tree) PathTo(t *topo.Topology, dst topo.NodeID) (topo.Path, bool) {
+	if math.IsInf(tr.Dist[dst], 1) {
+		return topo.Path{}, false
+	}
+	var rev []topo.ArcID
+	for n := dst; n != tr.Source; {
+		aid := tr.PrevArc[n]
+		if aid < 0 {
+			return topo.Path{}, false
+		}
+		rev = append(rev, aid)
+		n = t.Arc(aid).From
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return topo.Path{Arcs: rev}, true
+}
+
+// ShortestPath returns the least-weight path from o to d under opts.
+func ShortestPath(t *topo.Topology, o, d topo.NodeID, opts Options) (topo.Path, bool) {
+	if o == d {
+		return topo.Path{}, true
+	}
+	tree := ShortestTree(t, o, opts)
+	return tree.PathTo(t, d)
+}
+
+// PathWeight sums the option weight over a path's arcs.
+func PathWeight(t *topo.Topology, p topo.Path, opts Options) float64 {
+	w := opts.weight()
+	var s float64
+	for _, aid := range p.Arcs {
+		s += w(t.Arc(aid))
+	}
+	return s
+}
+
+// KShortest returns up to k loop-free shortest paths from o to d in
+// non-decreasing weight order using Yen's algorithm.
+func KShortest(t *topo.Topology, o, d topo.NodeID, k int, opts Options) []topo.Path {
+	if k <= 0 {
+		return nil
+	}
+	first, ok := ShortestPath(t, o, d, opts)
+	if !ok || first.Empty() {
+		return nil
+	}
+	paths := []topo.Path{first}
+	type cand struct {
+		p topo.Path
+		w float64
+	}
+	var cands []cand
+	seen := map[string]bool{first.Key(): true}
+
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		prevNodes := prev.Nodes(t)
+		// Spur from each node of the previous path.
+		for i := 0; i < len(prev.Arcs); i++ {
+			spurNode := prevNodes[i]
+			rootArcs := append([]topo.ArcID(nil), prev.Arcs[:i]...)
+			banned := map[topo.ArcID]bool{}
+			// Ban the next arc of every accepted path sharing this root.
+			for _, p := range paths {
+				if len(p.Arcs) > i && sameArcs(p.Arcs[:i], rootArcs) {
+					banned[p.Arcs[i]] = true
+				}
+			}
+			// Ban revisiting root nodes.
+			rootNodes := map[topo.NodeID]bool{}
+			for _, n := range prevNodes[:i+1] {
+				rootNodes[n] = true
+			}
+			delete(rootNodes, spurNode)
+			sub := opts
+			parentAvoid := opts.Avoid
+			sub.Avoid = func(a topo.Arc) bool {
+				if parentAvoid != nil && parentAvoid(a) {
+					return true
+				}
+				return banned[a.ID] || rootNodes[a.To]
+			}
+			spur, ok := ShortestPath(t, spurNode, d, sub)
+			if !ok || spur.Empty() {
+				continue
+			}
+			full := topo.Path{Arcs: append(append([]topo.ArcID(nil), rootArcs...), spur.Arcs...)}
+			if full.Check(t) != nil {
+				continue
+			}
+			key := full.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			cands = append(cands, cand{p: full, w: PathWeight(t, full, opts)})
+		}
+		if len(cands) == 0 {
+			break
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].w < cands[j].w })
+		paths = append(paths, cands[0].p)
+		cands = cands[1:]
+	}
+	return paths
+}
+
+func sameArcs(a, b []topo.ArcID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ECMPPaths enumerates equal-cost shortest paths from o to d (up to
+// maxPaths, default 16), the standard ECMP baseline of Figure 4.
+func ECMPPaths(t *topo.Topology, o, d topo.NodeID, maxPaths int, opts Options) []topo.Path {
+	if maxPaths <= 0 {
+		maxPaths = 16
+	}
+	if o == d {
+		return nil
+	}
+	tree := ShortestTree(t, o, opts)
+	if math.IsInf(tree.Dist[d], 1) {
+		return nil
+	}
+	w := opts.weight()
+	const eps = 1e-12
+	// DFS backwards from d along arcs on some shortest path.
+	var out []topo.Path
+	var stack []topo.ArcID
+	var dfs func(n topo.NodeID)
+	dfs = func(n topo.NodeID) {
+		if len(out) >= maxPaths {
+			return
+		}
+		if n == o {
+			arcs := make([]topo.ArcID, len(stack))
+			for i := range stack {
+				arcs[i] = stack[len(stack)-1-i]
+			}
+			out = append(out, topo.Path{Arcs: arcs})
+			return
+		}
+		for _, aid := range t.In(n) {
+			a := t.Arc(aid)
+			if !opts.usable(t, a) {
+				continue
+			}
+			if t.Node(a.From).Kind == topo.KindHost && a.From != o {
+				continue
+			}
+			wt := w(a)
+			if math.IsInf(wt, 1) {
+				continue
+			}
+			if math.Abs(tree.Dist[a.From]+wt-tree.Dist[n]) <= eps*(1+tree.Dist[n]) {
+				stack = append(stack, aid)
+				dfs(a.From)
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	dfs(d)
+	return out
+}
+
+// HashFlow deterministically selects one of n paths for a flow key, the
+// way ECMP hashes five-tuples onto next hops.
+func HashFlow(o, d topo.NodeID, flowID, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	h := uint64(14695981039346656037)
+	for _, v := range []uint64{uint64(o), uint64(d), uint64(flowID)} {
+		h ^= v
+		h *= 1099511628211
+	}
+	return int(h % uint64(n))
+}

@@ -1,0 +1,256 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Error("Variance of singleton should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 {
+		t.Errorf("Min = %v", Min(xs))
+	}
+	if Max(xs) != 7 {
+		t.Errorf("Max = %v", Max(xs))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {10, 1.4},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("empty sample should error")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("out-of-range percentile should error")
+	}
+}
+
+func TestPercentileUnsortedInputUnchanged(t *testing.T) {
+	xs := []float64{9, 1, 5}
+	MustPercentile(xs, 50)
+	if xs[0] != 9 || xs[1] != 1 || xs[2] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestBoxplot(t *testing.T) {
+	b, err := NewBoxplot([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Min != 1 || b.Max != 9 || b.Median != 5 || b.N != 9 {
+		t.Errorf("boxplot = %+v", b)
+	}
+	if b.Q1 != 3 || b.Q3 != 7 {
+		t.Errorf("quartiles = %v, %v", b.Q1, b.Q3)
+	}
+	if _, err := NewBoxplot(nil); err == nil {
+		t.Error("empty boxplot should error")
+	}
+}
+
+func TestCDFBasic(t *testing.T) {
+	pts := CDF([]float64{1, 1, 2, 3})
+	if len(pts) != 3 {
+		t.Fatalf("CDF points = %d, want 3 (dups collapsed)", len(pts))
+	}
+	if pts[0].X != 1 || math.Abs(pts[0].Y-0.5) > 1e-12 {
+		t.Errorf("first point = %+v", pts[0])
+	}
+	if pts[2].Y != 1 {
+		t.Errorf("last CDF value = %v, want 1", pts[2].Y)
+	}
+}
+
+func TestCCDFBasic(t *testing.T) {
+	pts := CCDF([]float64{1, 2, 3, 4})
+	if pts[0].Y != 1 {
+		t.Errorf("CCDF starts at %v, want 1", pts[0].Y)
+	}
+	if pts[len(pts)-1].Y != 0.25 {
+		t.Errorf("CCDF ends at %v, want 0.25", pts[len(pts)-1].Y)
+	}
+}
+
+// Property: CDF is monotone nondecreasing in both X and Y, Y in (0,1].
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := sanitize(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		pts := CDF(xs)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].X <= pts[i-1].X || pts[i].Y < pts[i-1].Y {
+				return false
+			}
+		}
+		return pts[len(pts)-1].Y == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CCDF is monotone nonincreasing in Y, starts at 1.
+func TestCCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := sanitize(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		pts := CCDF(xs)
+		if pts[0].Y != 1 {
+			return false
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Y > pts[i-1].Y {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FractionAtLeast agrees with the CCDF at sampled thresholds.
+func TestFractionAtLeastMatchesCCDF(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := sanitize(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		for _, p := range CCDF(xs) {
+			if math.Abs(FractionAtLeast(xs, p.X)-p.Y) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentile interpolation is bounded by sample min/max and
+// monotone in p.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		xs := sanitize(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		p1 := float64(a % 101)
+		p2 := float64(b % 101)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		v1 := MustPercentile(xs, p1)
+		v2 := MustPercentile(xs, p2)
+		return v1 <= v2+1e-9 && v1 >= Min(xs)-1e-9 && v2 <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]float64, 1000)
+	var w Welford
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 7
+		w.Add(xs[i])
+	}
+	if math.Abs(w.Mean()-Mean(xs)) > 1e-9 {
+		t.Errorf("Welford mean %v vs %v", w.Mean(), Mean(xs))
+	}
+	if math.Abs(w.Variance()-Variance(xs)) > 1e-9 {
+		t.Errorf("Welford variance %v vs %v", w.Variance(), Variance(xs))
+	}
+	if w.N() != len(xs) {
+		t.Errorf("Welford N = %d", w.N())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{0.5, 1.5, 1.6, 9.9, -3, 42}, 0, 10, 10)
+	if h[0] != 2 { // 0.5 and clamped -3
+		t.Errorf("bin0 = %d", h[0])
+	}
+	if h[1] != 2 {
+		t.Errorf("bin1 = %d", h[1])
+	}
+	if h[9] != 2 { // 9.9 and clamped 42
+		t.Errorf("bin9 = %d", h[9])
+	}
+	if Histogram(nil, 0, 1, 0) != nil {
+		t.Error("zero bins should return nil")
+	}
+	if Histogram(nil, 5, 5, 3) != nil {
+		t.Error("empty range should return nil")
+	}
+}
+
+// sanitize keeps quick-generated floats finite and deduplicates NaN.
+func sanitize(raw []float64) []float64 {
+	var out []float64
+	for _, x := range raw {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		out = append(out, x)
+	}
+	if len(out) > 50 {
+		out = out[:50]
+	}
+	sort.Float64s(out) // determinism of failures
+	return out
+}

@@ -1,0 +1,292 @@
+// Package te implements REsPoNseTE, the paper's online traffic
+// engineering component (§4.4): edge agents periodically probe the
+// utilization of the paths they originate (period T = the network's max
+// RTT), aggregate traffic onto always-on paths while the SLO holds,
+// activate on-demand paths when utilization crosses the ISP's
+// threshold, and fall back to failover paths on element failure.
+//
+// Traffic shifts are damped (a TeXCP-style stable controller): at most
+// Gamma of the measured excess moves per decision, and consolidation
+// back onto lower levels only happens below a low-water mark, which
+// gives hysteresis and prevents persistent oscillation.
+package te
+
+import (
+	"math"
+
+	"response/internal/sim"
+	"response/internal/topo"
+)
+
+// Opts parameterizes the controller.
+type Opts struct {
+	// Threshold is the ISP's link-utilization ceiling that triggers
+	// on-demand activation (default 0.9).
+	Threshold float64
+	// LowWater, as a fraction of Threshold, is the level a lower path
+	// must stay under after consolidation for traffic to move back
+	// down (default 0.7 — hysteresis against oscillation).
+	LowWater float64
+	// Gamma is the damping factor: the fraction of the excess shifted
+	// per decision (default 0.5).
+	Gamma float64
+	// Period is the probe period T in seconds; 0 derives it from the
+	// topology's max RTT, the paper's recommendation.
+	Period float64
+	// ProbeDelay, when true (default), delays utilization feedback by
+	// the probed path's RTT, as a real probe packet would.
+	NoProbeDelay bool
+}
+
+func (o *Opts) defaults(t *topo.Topology) {
+	if o.Threshold == 0 {
+		o.Threshold = 0.9
+	}
+	if o.LowWater == 0 {
+		o.LowWater = 0.7
+	}
+	if o.Gamma == 0 {
+		o.Gamma = 0.5
+	}
+	if o.Period == 0 {
+		o.Period = t.MaxRTT()
+		if o.Period == 0 {
+			o.Period = 0.1
+		}
+	}
+}
+
+// Controller drives share decisions for the flows it manages.
+type Controller struct {
+	s    *sim.Simulator
+	opts Opts
+
+	flows []*sim.Flow
+
+	// Decisions counts control actions taken (for the overhead bench).
+	Decisions int
+	// Shifts counts share movements actually applied.
+	Shifts int
+	// Wakes counts wake-ups requested.
+	Wakes int
+}
+
+// NewController builds a controller over a simulator.
+func NewController(s *sim.Simulator, opts Opts) *Controller {
+	opts.defaults(s.T)
+	return &Controller{s: s, opts: opts}
+}
+
+// Period returns the effective probe period T.
+func (c *Controller) Period() float64 { return c.opts.Period }
+
+// Manage registers a flow with the controller. The flow's Paths must be
+// ordered by level: always-on first, failover last.
+func (c *Controller) Manage(f *sim.Flow) { c.flows = append(c.flows, f) }
+
+// Start begins periodic probing at the current simulation time and
+// registers the failure handler.
+func (c *Controller) Start() {
+	c.s.OnLinkFail(c.onFailure)
+	var tick func()
+	tick = func() {
+		for _, f := range c.flows {
+			c.probe(f)
+		}
+		c.s.After(c.opts.Period, tick)
+	}
+	c.s.After(0, tick)
+}
+
+// DecideOnce runs one probe-collect-decide cycle for a flow
+// synchronously, bypassing the probe RTT. It exists for overhead
+// measurement (the paper reports the agent costs 2–3 % of a router's
+// per-packet budget, §5.3).
+func (c *Controller) DecideOnce(f *sim.Flow) {
+	utils := make([]float64, len(f.Paths))
+	for i, p := range f.Paths {
+		utils[i] = c.s.PathUtil(p)
+	}
+	c.decide(f, utils)
+}
+
+// probe snapshots the utilizations of f's paths and delivers them to
+// the decision logic after the probe RTT.
+func (c *Controller) probe(f *sim.Flow) {
+	utils := make([]float64, len(f.Paths))
+	var maxRTT float64
+	for i, p := range f.Paths {
+		utils[i] = c.s.PathUtil(p)
+		if rtt := 2 * p.Latency(c.s.T); rtt > maxRTT {
+			maxRTT = rtt
+		}
+	}
+	deliver := func() { c.decide(f, utils) }
+	if c.opts.NoProbeDelay {
+		deliver()
+		return
+	}
+	c.s.After(maxRTT, deliver)
+}
+
+// decide applies the damped shifting policy for one flow given probed
+// per-level utilizations.
+func (c *Controller) decide(f *sim.Flow, utils []float64) {
+	c.Decisions++
+	primary := c.primaryLevel(f)
+	if primary < 0 {
+		return
+	}
+	th := c.opts.Threshold
+
+	// Failed primary: evacuate entirely (normally the failure handler
+	// already did this; probes are the backstop).
+	if c.s.PathPhase(f.Paths[primary]) == sim.LinkFailed {
+		c.evacuate(f, primary)
+		return
+	}
+
+	if utils[primary] > th {
+		// Overloaded: push a damped fraction of the excess up-level.
+		next := c.nextUsable(f, primary)
+		if next < 0 {
+			return
+		}
+		excess := (utils[primary] - th) / math.Max(utils[primary], 1e-9)
+		frac := c.opts.Gamma * excess * f.ShareOf(primary)
+		if frac <= 1e-6 {
+			return
+		}
+		c.shiftWhenReady(f, primary, next, frac)
+		return
+	}
+
+	// Headroom: consolidate share from higher levels back down so
+	// their elements can sleep.
+	room := th*c.opts.LowWater - utils[primary]
+	if room <= 0 {
+		return
+	}
+	bottleneck := f.Paths[primary].Bottleneck(c.s.T)
+	movableRate := room * bottleneck
+	for lvl := len(f.Paths) - 1; lvl > primary; lvl-- {
+		sh := f.ShareOf(lvl)
+		if sh <= 1e-6 || movableRate <= 0 {
+			continue
+		}
+		if c.s.PathPhase(f.Paths[primary]) != sim.LinkActive {
+			break
+		}
+		maxShare := movableRate / math.Max(f.Demand, 1e-9)
+		frac := math.Min(sh, c.opts.Gamma*maxShare)
+		if frac <= 1e-6 {
+			continue
+		}
+		c.s.ShiftShare(f, lvl, primary, frac)
+		c.Shifts++
+		movableRate -= frac * f.Demand
+	}
+}
+
+// primaryLevel is the lowest level holding any share (the path the
+// agent currently aggregates onto).
+func (c *Controller) primaryLevel(f *sim.Flow) int {
+	for i := range f.Paths {
+		if f.ShareOf(i) > 1e-9 {
+			return i
+		}
+	}
+	// All share drained (e.g. after failure churn): restart at 0.
+	if len(f.Paths) > 0 {
+		return 0
+	}
+	return -1
+}
+
+// nextUsable finds the next higher level whose path is not failed.
+func (c *Controller) nextUsable(f *sim.Flow, from int) int {
+	for i := from + 1; i < len(f.Paths); i++ {
+		if f.Paths[i].Empty() {
+			continue
+		}
+		if c.s.PathPhase(f.Paths[i]) != sim.LinkFailed {
+			return i
+		}
+	}
+	return -1
+}
+
+// shiftWhenReady wakes the target path if needed and applies the share
+// shift once it can forward; meanwhile traffic stays where it is (the
+// paper's reserve-capacity-on-always-on behaviour, §4.5).
+func (c *Controller) shiftWhenReady(f *sim.Flow, from, to int, frac float64) {
+	p := f.Paths[to]
+	switch c.s.PathPhase(p) {
+	case sim.LinkActive:
+		c.s.ShiftShare(f, from, to, frac)
+		c.Shifts++
+	case sim.LinkSleeping, sim.LinkWaking:
+		ready := c.s.RequestWake(p)
+		c.Wakes++
+		c.s.Schedule(ready, func() {
+			if c.s.PathPhase(p) == sim.LinkActive {
+				c.s.ShiftShare(f, from, to, frac)
+				c.Shifts++
+			}
+		})
+	case sim.LinkFailed:
+		// Target died since the decision; drop the shift.
+	}
+}
+
+// onFailure reacts to a link failure notification (already delayed by
+// detection + propagation): every managed flow with share on a path
+// using the failed link evacuates that share to the best surviving
+// level, waking it if necessary.
+func (c *Controller) onFailure(_ float64, l topo.LinkID) {
+	for _, f := range c.flows {
+		for lvl, p := range f.Paths {
+			if f.ShareOf(lvl) <= 1e-9 || !p.UsesLink(c.s.T, l) {
+				continue
+			}
+			c.evacuate(f, lvl)
+		}
+	}
+}
+
+// evacuate moves all share off the given (failed) level.
+func (c *Controller) evacuate(f *sim.Flow, lvl int) {
+	sh := f.ShareOf(lvl)
+	if sh <= 1e-9 {
+		return
+	}
+	// Prefer the failover (last) level, then any other surviving one.
+	target := -1
+	for i := len(f.Paths) - 1; i >= 0; i-- {
+		if i == lvl || f.Paths[i].Empty() {
+			continue
+		}
+		if c.s.PathPhase(f.Paths[i]) != sim.LinkFailed {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		return // nowhere to go
+	}
+	c.Decisions++
+	p := f.Paths[target]
+	if c.s.PathPhase(p) == sim.LinkActive {
+		c.s.ShiftShare(f, lvl, target, sh)
+		c.Shifts++
+		return
+	}
+	ready := c.s.RequestWake(p)
+	c.Wakes++
+	c.s.Schedule(ready, func() {
+		if c.s.PathPhase(p) == sim.LinkActive {
+			c.s.ShiftShare(f, lvl, target, f.ShareOf(lvl))
+			c.Shifts++
+		}
+	})
+}

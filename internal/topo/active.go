@@ -1,0 +1,169 @@
+package topo
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// ActiveSet records the power state of every router and link: the X_i
+// and Y_i→j decision variables of the paper's model (§2.2.1). Hosts are
+// always considered on but carry no power cost.
+type ActiveSet struct {
+	Router []bool // indexed by NodeID
+	Link   []bool // indexed by LinkID
+}
+
+// AllOn returns an ActiveSet with every element powered.
+func AllOn(t *Topology) *ActiveSet {
+	a := &ActiveSet{
+		Router: make([]bool, t.NumNodes()),
+		Link:   make([]bool, t.NumLinks()),
+	}
+	for i := range a.Router {
+		a.Router[i] = true
+	}
+	for i := range a.Link {
+		a.Link[i] = true
+	}
+	return a
+}
+
+// AllOff returns an ActiveSet with every element unpowered.
+func AllOff(t *Topology) *ActiveSet {
+	return &ActiveSet{
+		Router: make([]bool, t.NumNodes()),
+		Link:   make([]bool, t.NumLinks()),
+	}
+}
+
+// Clone returns a deep copy.
+func (a *ActiveSet) Clone() *ActiveSet {
+	return &ActiveSet{
+		Router: append([]bool(nil), a.Router...),
+		Link:   append([]bool(nil), a.Link...),
+	}
+}
+
+// CountOn returns the number of active routers and links.
+func (a *ActiveSet) CountOn() (routers, links int) {
+	for _, on := range a.Router {
+		if on {
+			routers++
+		}
+	}
+	for _, on := range a.Link {
+		if on {
+			links++
+		}
+	}
+	return routers, links
+}
+
+// Equal reports element-wise equality.
+func (a *ActiveSet) Equal(b *ActiveSet) bool {
+	if len(a.Router) != len(b.Router) || len(a.Link) != len(b.Link) {
+		return false
+	}
+	for i := range a.Router {
+		if a.Router[i] != b.Router[i] {
+			return false
+		}
+	}
+	for i := range a.Link {
+		if a.Link[i] != b.Link[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Fingerprint hashes the on/off pattern into a stable 64-bit value used
+// to identify routing configurations (Figure 2a counts distinct ones).
+func (a *ActiveSet) Fingerprint() uint64 {
+	h := fnv.New64a()
+	buf := []byte{0}
+	for _, on := range a.Router {
+		buf[0] = 0
+		if on {
+			buf[0] = 1
+		}
+		h.Write(buf)
+	}
+	buf[0] = 2
+	h.Write(buf)
+	for _, on := range a.Link {
+		buf[0] = 0
+		if on {
+			buf[0] = 1
+		}
+		h.Write(buf)
+	}
+	return h.Sum64()
+}
+
+// EnforceInvariants applies the model's constraints (1) and (3) in
+// place: links attached to an off router are deactivated, and a router
+// with no active links is powered off (hosts and their attachment links
+// are left untouched). It returns a so calls can chain.
+func (a *ActiveSet) EnforceInvariants(t *Topology) *ActiveSet {
+	// Constraint (1): Y_i→j ≤ X_i — no active link on an off router.
+	for _, l := range t.Links() {
+		na, nb := t.Node(l.A), t.Node(l.B)
+		offA := na.Kind != KindHost && !a.Router[l.A]
+		offB := nb.Kind != KindHost && !a.Router[l.B]
+		if offA || offB {
+			a.Link[l.ID] = false
+		}
+	}
+	// Constraint (3): X_i ≤ Σ Y_i→j — no active router with all links off.
+	for _, n := range t.Nodes() {
+		if n.Kind == KindHost || !a.Router[n.ID] {
+			continue
+		}
+		any := false
+		for _, aid := range t.Out(n.ID) {
+			if a.Link[t.Arc(aid).Link] {
+				any = true
+				break
+			}
+		}
+		if !any {
+			a.Router[n.ID] = false
+		}
+	}
+	return a
+}
+
+// Union merges b into a: an element is on if it is on in either set.
+func (a *ActiveSet) Union(b *ActiveSet) *ActiveSet {
+	for i := range a.Router {
+		a.Router[i] = a.Router[i] || b.Router[i]
+	}
+	for i := range a.Link {
+		a.Link[i] = a.Link[i] || b.Link[i]
+	}
+	return a
+}
+
+// ActivatePath powers on every router and link along p.
+func (a *ActiveSet) ActivatePath(t *Topology, p Path) {
+	if p.Empty() {
+		return
+	}
+	if o := p.Origin(t); t.Node(o).Kind != KindHost {
+		a.Router[o] = true
+	}
+	for _, aid := range p.Arcs {
+		arc := t.Arc(aid)
+		a.Link[arc.Link] = true
+		if t.Node(arc.To).Kind != KindHost {
+			a.Router[arc.To] = true
+		}
+	}
+}
+
+// String summarizes on/off counts.
+func (a *ActiveSet) String() string {
+	r, l := a.CountOn()
+	return fmt.Sprintf("active{routers:%d/%d links:%d/%d}", r, len(a.Router), l, len(a.Link))
+}

@@ -1,0 +1,89 @@
+package topo
+
+// NewGeant returns an embedded approximation of the GÉANT European
+// research network as of 2005, the topology behind the paper's Figures
+// 1b, 2a, 2b and 5: 23 PoPs and 37 links.
+//
+// Substitution note (DESIGN.md §3): the exact 2005 map ships with the
+// TOTEM dataset which is not redistributable here; this embedding keeps
+// the published node count, the 10G/2.5G/622M capacity tiers and the
+// West-European core / peripheral-spur structure that drive the
+// energy-critical-path analyses.
+func NewGeant() *Topology {
+	t := New("geant")
+	// Approximate planar coordinates in km relative to Geneva (east, north).
+	add := func(name string, e, n float64) NodeID {
+		return t.AddNodeAt(name, KindRouter, e, n)
+	}
+	at := add("AT", 1000, 200)   // Vienna
+	be := add("BE", 300, 550)    // Brussels
+	ch := add("CH", 0, 0)        // Geneva
+	cz := add("CZ", 900, 450)    // Prague
+	de := add("DE", 550, 500)    // Frankfurt
+	dk := add("DK", 700, 1100)   // Copenhagen
+	es := add("ES", -650, -750)  // Madrid
+	fr := add("FR", 150, 350)    // Paris
+	gr := add("GR", 1750, -850)  // Athens
+	hr := add("HR", 1100, -100)  // Zagreb
+	hu := add("HU", 1250, 150)   // Budapest
+	ie := add("IE", -650, 900)   // Dublin
+	il := add("IL", 2900, -550)  // Tel Aviv
+	it := add("IT", 450, -300)   // Milan
+	lu := add("LU", 350, 450)    // Luxembourg
+	nl := add("NL", 350, 700)    // Amsterdam
+	pl := add("PL", 1150, 650)   // Poznan
+	pt := add("PT", -1100, -700) // Lisbon
+	se := add("SE", 950, 1450)   // Stockholm
+	si := add("SI", 950, -100)   // Ljubljana
+	sk := add("SK", 1150, 250)   // Bratislava
+	uk := add("UK", -100, 750)   // London
+	us := add("US", -5500, 600)  // New York (transatlantic PoP)
+
+	const (
+		c10g  = 10 * Gbps
+		c25g  = 2.5 * Gbps
+		c622m = 622 * Mbps
+	)
+	// Western core ring at 10G.
+	t.AddLinkKm(uk, fr, c10g)
+	t.AddLinkKm(uk, nl, c10g)
+	t.AddLinkKm(nl, de, c10g)
+	t.AddLinkKm(de, fr, c10g)
+	t.AddLinkKm(fr, ch, c10g)
+	t.AddLinkKm(ch, de, c10g)
+	t.AddLinkKm(ch, it, c10g)
+	t.AddLinkKm(de, at, c10g)
+	t.AddLinkKm(it, at, c10g)
+	t.AddLinkKm(fr, es, c10g)
+	t.AddLinkKm(it, fr, c10g)
+	// Regional 2.5G mesh.
+	t.AddLinkKm(be, nl, c25g)
+	t.AddLinkKm(be, fr, c25g)
+	t.AddLinkKm(lu, de, c25g)
+	t.AddLinkKm(lu, be, c25g)
+	t.AddLinkKm(cz, de, c25g)
+	t.AddLinkKm(cz, at, c25g)
+	t.AddLinkKm(cz, pl, c25g)
+	t.AddLinkKm(pl, de, c25g)
+	t.AddLinkKm(sk, cz, c25g)
+	t.AddLinkKm(sk, hu, c25g)
+	t.AddLinkKm(hu, at, c25g)
+	t.AddLinkKm(si, at, c25g)
+	t.AddLinkKm(hr, si, c25g)
+	t.AddLinkKm(hr, hu, c25g)
+	t.AddLinkKm(se, dk, c25g)
+	t.AddLinkKm(dk, de, c25g)
+	t.AddLinkKm(se, pl, c25g)
+	t.AddLinkKm(es, pt, c25g)
+	t.AddLinkKm(gr, it, c25g)
+	// Peripheral spurs at 622M.
+	t.AddLinkKm(ie, uk, c622m)
+	t.AddLinkKm(pt, uk, c622m)
+	t.AddLinkKm(gr, at, c622m)
+	t.AddLinkKm(il, it, c622m)
+	t.AddLinkKm(il, nl, c622m)
+	// Transatlantic.
+	t.AddLinkKm(us, uk, c10g)
+	t.AddLinkKm(us, de, c10g)
+	return t
+}

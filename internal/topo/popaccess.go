@@ -1,0 +1,86 @@
+package topo
+
+import "fmt"
+
+// PopAccessOpts parameterizes the hierarchical Italian-ISP-style
+// topology of Chiaraviglio et al. that the paper calls "PoP-access"
+// (§5.1): a fully meshed core, a backbone level dual-homed to the core,
+// and a metro level dual-homed to the backbone. The paper restricts
+// itself to these top three levels (feeder nodes must stay powered).
+type PopAccessOpts struct {
+	Cores            int // fully meshed core routers (default 4)
+	BackbonePerCore  int // backbone routers homed per core (default 2)
+	MetroPerBackbone int // metro routers homed per backbone (default 2)
+	CoreCapacity     float64
+	BackboneCapacity float64
+	MetroCapacity    float64
+	LinkLatency      float64 // one-way delay per link, seconds
+}
+
+func (o *PopAccessOpts) defaults() {
+	if o.Cores == 0 {
+		o.Cores = 4
+	}
+	if o.BackbonePerCore == 0 {
+		o.BackbonePerCore = 2
+	}
+	if o.MetroPerBackbone == 0 {
+		o.MetroPerBackbone = 2
+	}
+	if o.CoreCapacity == 0 {
+		o.CoreCapacity = 10 * Gbps
+	}
+	if o.BackboneCapacity == 0 {
+		o.BackboneCapacity = 2.5 * Gbps
+	}
+	if o.MetroCapacity == 0 {
+		o.MetroCapacity = 1 * Gbps
+	}
+	if o.LinkLatency == 0 {
+		o.LinkLatency = 0.002 // 2 ms: national-scale hops
+	}
+}
+
+// PopAccess is the built hierarchical topology with its layers exposed.
+type PopAccess struct {
+	*Topology
+	Core     []NodeID
+	Backbone []NodeID
+	Metro    []NodeID
+}
+
+// NewPopAccess builds the PoP-access topology. Redundancy: cores form a
+// full mesh; each backbone router is homed to two distinct cores; each
+// metro router is homed to two distinct backbone routers.
+func NewPopAccess(opts PopAccessOpts) *PopAccess {
+	opts.defaults()
+	p := &PopAccess{Topology: New("pop-access")}
+	for i := 0; i < opts.Cores; i++ {
+		p.Core = append(p.Core, p.AddNode(fmt.Sprintf("core-%d", i), KindCore))
+	}
+	for i := 0; i < opts.Cores; i++ {
+		for j := i + 1; j < opts.Cores; j++ {
+			p.AddLink(p.Core[i], p.Core[j], opts.CoreCapacity, opts.LinkLatency)
+		}
+	}
+	nb := opts.Cores * opts.BackbonePerCore
+	for i := 0; i < nb; i++ {
+		b := p.AddNode(fmt.Sprintf("backbone-%d", i), KindAggr)
+		p.Backbone = append(p.Backbone, b)
+		// Dual-home to the "parent" core and the next one around the ring.
+		c0 := p.Core[i%opts.Cores]
+		c1 := p.Core[(i+1)%opts.Cores]
+		p.AddLink(b, c0, opts.BackboneCapacity, opts.LinkLatency)
+		p.AddLink(b, c1, opts.BackboneCapacity, opts.LinkLatency)
+	}
+	nm := nb * opts.MetroPerBackbone
+	for i := 0; i < nm; i++ {
+		m := p.AddNode(fmt.Sprintf("metro-%d", i), KindEdge)
+		p.Metro = append(p.Metro, m)
+		b0 := p.Backbone[i%nb]
+		b1 := p.Backbone[(i+1)%nb]
+		p.AddLink(m, b0, opts.MetroCapacity, opts.LinkLatency)
+		p.AddLink(m, b1, opts.MetroCapacity, opts.LinkLatency)
+	}
+	return p
+}

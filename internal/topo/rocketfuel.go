@@ -1,0 +1,121 @@
+package topo
+
+// Rocketfuel-style PoP-level ISP topologies (paper §5.1). The paper
+// uses Abovenet (AS 6461) and Genuity (AS 1) maps inferred by
+// Rocketfuel, applies the capacity rule from TeXCP — 100 Mbps when an
+// endpoint has degree < 7, else 52 Mbps — and keeps latencies from the
+// Rocketfuel mapping engine (here: derived from city geography).
+//
+// Substitution note (DESIGN.md §3): the raw Rocketfuel maps are not
+// bundled; these embeddings preserve PoP counts of the published
+// PoP-level maps within a few nodes, the degree distribution shape
+// (a dense national core plus lower-degree spurs), and the redundancy
+// level that makes energy-aware routing non-trivial.
+
+// rocketCapacity applies the TeXCP capacity convention after all links
+// are added: 100 Mbps unless either endpoint has degree >= 7.
+func rocketCapacity(t *Topology) {
+	for i := range t.arcs {
+		a := &t.arcs[i]
+		if t.Degree(a.From) >= 7 || t.Degree(a.To) >= 7 {
+			a.Capacity = 52 * Mbps
+		} else {
+			a.Capacity = 100 * Mbps
+		}
+	}
+}
+
+// NewAbovenet returns a 19-PoP approximation of the Abovenet (AS 6461)
+// backbone used for the application-level experiments (Figure 9, web
+// workload).
+func NewAbovenet() *Topology {
+	t := New("abovenet")
+	add := func(name string, e, n float64) NodeID {
+		return t.AddNodeAt(name, KindRouter, e, n)
+	}
+	sjc := add("SanJose", 0, 0)
+	sfo := add("SanFrancisco", -20, 60)
+	sea := add("Seattle", 100, 1100)
+	lax := add("LosAngeles", 300, -450)
+	phx := add("Phoenix", 900, -500)
+	den := add("Denver", 1500, 200)
+	dfw := add("Dallas", 2200, -600)
+	hou := add("Houston", 2350, -800)
+	chi := add("Chicago", 2900, 500)
+	stl := add("StLouis", 2750, 100)
+	atl := add("Atlanta", 3400, -400)
+	mia := add("Miami", 3900, -1000)
+	iad := add("Washington", 3900, 200)
+	jfk := add("NewYork", 4100, 400)
+	bos := add("Boston", 4250, 550)
+	lhr := add("London", 8500, 1500)
+	ams := add("Amsterdam", 8900, 1600)
+	fra := add("Frankfurt", 9100, 1450)
+	nrt := add("Tokyo", -8500, 600)
+
+	links := [][2]NodeID{
+		{sjc, sfo}, {sjc, lax}, {sjc, sea}, {sjc, den}, {sjc, dfw}, {sjc, chi},
+		{sfo, sea}, {sfo, lax}, {lax, phx}, {phx, dfw}, {den, chi}, {den, dfw},
+		{dfw, hou}, {dfw, atl}, {dfw, stl}, {hou, atl}, {chi, stl}, {chi, jfk},
+		{chi, iad}, {stl, atl}, {atl, mia}, {atl, iad}, {mia, iad}, {iad, jfk},
+		{jfk, bos}, {jfk, lhr}, {iad, lhr}, {lhr, ams}, {lhr, fra}, {ams, fra},
+		{sjc, nrt}, {sea, nrt}, {chi, bos}, {sea, chi},
+	}
+	for _, l := range links {
+		t.AddLinkKm(l[0], l[1], 100*Mbps)
+	}
+	rocketCapacity(t)
+	return t
+}
+
+// NewGenuity returns a 27-PoP approximation of the Genuity (AS 1)
+// backbone used for the utilization sweep (Figure 6).
+func NewGenuity() *Topology {
+	t := New("genuity")
+	add := func(name string, e, n float64) NodeID {
+		return t.AddNodeAt(name, KindRouter, e, n)
+	}
+	sea := add("Seattle", 100, 1100)
+	pdx := add("Portland", 80, 950)
+	sfo := add("SanFrancisco", -20, 60)
+	sjc := add("SanJose", 0, 0)
+	lax := add("LosAngeles", 300, -450)
+	san := add("SanDiego", 350, -550)
+	phx := add("Phoenix", 900, -500)
+	slc := add("SaltLake", 1100, 300)
+	den := add("Denver", 1500, 200)
+	dfw := add("Dallas", 2200, -600)
+	hou := add("Houston", 2350, -800)
+	kcy := add("KansasCity", 2400, 100)
+	msp := add("Minneapolis", 2600, 700)
+	stl := add("StLouis", 2750, 100)
+	chi := add("Chicago", 2900, 500)
+	ind := add("Indianapolis", 3000, 300)
+	det := add("Detroit", 3200, 550)
+	clv := add("Cleveland", 3350, 500)
+	nsh := add("Nashville", 3100, -150)
+	atl := add("Atlanta", 3400, -400)
+	mia := add("Miami", 3900, -1000)
+	tpa := add("Tampa", 3700, -900)
+	iad := add("Washington", 3900, 200)
+	phl := add("Philadelphia", 4000, 320)
+	jfk := add("NewYork", 4100, 400)
+	bos := add("Boston", 4250, 550)
+	pit := add("Pittsburgh", 3550, 350)
+
+	links := [][2]NodeID{
+		{sea, pdx}, {sea, sfo}, {sea, msp}, {pdx, sfo}, {sfo, sjc}, {sjc, lax},
+		{sfo, slc}, {lax, san}, {lax, phx}, {san, phx}, {phx, dfw}, {slc, den},
+		{den, kcy}, {den, dfw}, {dfw, hou}, {dfw, kcy}, {hou, atl}, {kcy, stl},
+		{kcy, chi}, {msp, chi}, {stl, chi}, {stl, nsh}, {chi, ind}, {chi, det},
+		{chi, jfk}, {ind, clv}, {det, clv}, {clv, pit}, {nsh, atl}, {atl, mia},
+		{atl, iad}, {mia, tpa}, {tpa, atl}, {pit, iad}, {iad, phl}, {phl, jfk},
+		{jfk, bos}, {iad, jfk}, {chi, iad}, {sjc, dfw}, {sfo, chi}, {den, chi},
+		{bos, chi}, {lax, dfw},
+	}
+	for _, l := range links {
+		t.AddLinkKm(l[0], l[1], 100*Mbps)
+	}
+	rocketCapacity(t)
+	return t
+}
