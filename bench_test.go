@@ -1,8 +1,8 @@
 package response_test
 
 // Benchmark harness: one benchmark per figure/table of the paper's
-// evaluation (see DESIGN.md §4 for the experiment index and
-// EXPERIMENTS.md for recorded paper-vs-measured values).
+// evaluation (see DESIGN.md §4 for the experiment index; the expected
+// paper values are quoted in each benchmark's comment).
 //
 // Each benchmark regenerates its figure end-to-end per iteration and
 // reports the headline quantity as a custom metric, so

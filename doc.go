@@ -23,6 +23,8 @@
 //   - internal/analysis: recomputation rate, configuration dominance,
 //     energy-critical-path coverage
 //
-// See DESIGN.md for the full inventory and EXPERIMENTS.md for the
-// paper-versus-measured record of every reproduced figure.
+// See DESIGN.md for the full inventory, the design of the incremental
+// allocation-free planning engine (workspace Dijkstra, delta-rerouting,
+// parallel restarts), and the experiment index that maps each benchmark
+// in bench_test.go to its paper figure.
 package response

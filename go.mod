@@ -1,0 +1,3 @@
+module response
+
+go 1.24

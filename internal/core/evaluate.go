@@ -213,13 +213,32 @@ func endpointsOf(m *traffic.Matrix) []topo.NodeID {
 }
 
 // maxScaleOnPaths bisects the largest matrix multiplier that fits on
-// fixed per-pair paths.
+// fixed per-pair paths. The paths — and hence the per-arc load shape —
+// do not depend on the multiplier, so they are resolved once and every
+// probe reduces to a per-arc comparison instead of a full re-route.
 func maxScaleOnPaths(t *topo.Topology, base *traffic.Matrix, maxUtil float64,
 	choose func(o, d topo.NodeID) topo.Path) float64 {
 
+	baseLoad := make([]float64, t.NumArcs())
+	for _, d := range base.Demands() {
+		if d.O == d.D || d.Rate == 0 {
+			continue
+		}
+		p := choose(d.O, d.D)
+		if p.Empty() {
+			return 0 // an unroutable pair fails at any scale
+		}
+		for _, aid := range p.Arcs {
+			baseLoad[aid] += d.Rate
+		}
+	}
 	fits := func(s float64) bool {
-		_, err := mcf.RouteOnPaths(t, base.Scale(s).Demands(), choose, maxUtil)
-		return err == nil
+		for _, a := range t.Arcs() {
+			if baseLoad[a.ID]*s > a.Capacity*maxUtil+1e-6 {
+				return false
+			}
+		}
+		return true
 	}
 	if !fits(1e-12) {
 		return 0

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"response/internal/power"
+	"response/internal/topo"
+)
+
+// planFingerprint hashes the full content of the installed tables —
+// every path of every pair, in deterministic order, plus the always-on
+// element set — into one 64-bit value, so tests can assert that planner
+// outputs are unchanged across refactors of the planning engine.
+func planFingerprint(t *topo.Topology, tb *Tables) uint64 {
+	h := fnv.New64a()
+	for _, k := range tb.PairKeys() {
+		ps := tb.Pairs[k]
+		fmt.Fprintf(h, "%d>%d|", k[0], k[1])
+		for _, p := range ps.Levels() {
+			fmt.Fprintf(h, "%s;", p.Key())
+		}
+	}
+	fmt.Fprintf(h, "aon:%d", tb.AlwaysOnSet.Fingerprint())
+	return h.Sum64()
+}
+
+// TestPlanFingerprints pins the exact planner output on the named
+// topologies. The constants were captured from the seed planner
+// (sequential full-reroute greedy, container/heap Dijkstra); the
+// rebuilt engine — workspace Dijkstra, delta-rerouting, parallel
+// restarts — must reproduce them bit-for-bit.
+func TestPlanFingerprints(t *testing.T) {
+	model := power.Cisco12000{}
+	ft, err := topo.NewFatTree(4, topo.FatTreeOpts{WithHosts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		topo    *topo.Topology
+		want    uint64
+		tunnels int
+	}{
+		{"geant", topo.NewGeant(), 6569351175397795390, 1518},
+		{"example", topo.NewExample(topo.ExampleOpts{}).Topology, 2457213049051472932, 216},
+		{"fattree4", ft.Topology, 9603934104780153607, 720},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			tables, err := Plan(tc.topo, PlanOpts{Model: model})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := planFingerprint(tc.topo, tables)
+			if got != tc.want {
+				t.Errorf("plan fingerprint = %d, want %d (planner output drifted from seed)", got, tc.want)
+			}
+			if n := tables.TunnelCount(); n != tc.tunnels {
+				t.Errorf("tunnel count = %d, want %d", n, tc.tunnels)
+			}
+		})
+	}
+}

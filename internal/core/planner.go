@@ -149,8 +149,10 @@ func Plan(t *topo.Topology, opts PlanOpts) (*Tables, error) {
 	// would stretch any pair past its bound is rejected, exactly as the
 	// MILP constraint would forbid it.
 	var check func(*mcf.Routing) error
+	var bounds map[[2]topo.NodeID]float64
 	if opts.Beta > 0 {
-		bounds, err := delayBounds(t, opts.Nodes, opts.Beta)
+		var err error
+		bounds, err = delayBounds(t, opts.Nodes, opts.Beta)
 		if err != nil {
 			return nil, err
 		}
@@ -193,7 +195,7 @@ func Plan(t *topo.Topology, opts PlanOpts) (*Tables, error) {
 	// ---- REsPoNse-lat (§4.1 constraint 4). ----
 	if opts.Beta > 0 {
 		tables.Variant = "REsPoNse-lat"
-		if err := enforceLatencyBound(t, tables, opts); err != nil {
+		if err := enforceLatencyBound(t, tables, opts, bounds); err != nil {
 			return nil, err
 		}
 	}
@@ -237,17 +239,25 @@ func delayBounds(t *topo.Topology, nodes []topo.NodeID, beta float64) (map[[2]to
 // enforceLatencyBound swaps always-on paths violating the (1+β)·OSPF
 // delay bound for the cheapest bounded alternative. With the bound
 // already enforced inside the subset search this is a safety net for
-// paths produced by other plan stages.
-func enforceLatencyBound(t *topo.Topology, tables *Tables, opts PlanOpts) error {
+// paths produced by other plan stages. The bounds map is the
+// delayBounds precomputation, shared with the subset-search check so
+// the OSPF reference paths are solved once per plan.
+func enforceLatencyBound(t *topo.Topology, tables *Tables, opts PlanOpts,
+	bounds map[[2]topo.NodeID]float64) error {
 	active := alwaysOnElements(t, tables)
 	ospf := spf.Options{Weight: spf.InvCap()}
 	for _, k := range tables.PairKeys() {
 		ps := tables.Pairs[k]
-		ref, ok := spf.ShortestPath(t, k[0], k[1], ospf)
+		bound, ok := bounds[k]
 		if !ok {
-			return fmt.Errorf("core: no OSPF path %v", k)
+			// Pair outside the precomputed endpoint set (custom LowTM):
+			// derive its bound directly.
+			ref, found := spf.ShortestPath(t, k[0], k[1], ospf)
+			if !found {
+				return fmt.Errorf("core: no OSPF path %v", k)
+			}
+			bound = (1 + opts.Beta) * ref.Latency(t)
 		}
-		bound := (1 + opts.Beta) * ref.Latency(t)
 		if ps.AlwaysOn.Latency(t) <= bound {
 			continue
 		}
@@ -286,7 +296,9 @@ func alwaysOnElements(t *topo.Topology, tables *Tables) *topo.ActiveSet {
 	return a
 }
 
-// planOnDemand computes the N-2 on-demand tables per the mode.
+// planOnDemand computes the N-2 on-demand tables per the mode. Work
+// invariant across rounds — the capacity-gravity sizing shape — is
+// computed once here rather than per round.
 func planOnDemand(t *topo.Topology, tables *Tables, opts PlanOpts, aonRouting *mcf.Routing) error {
 	rounds := opts.N - 2
 	// Stress accumulates over always-on plus previously computed
@@ -296,19 +308,28 @@ func planOnDemand(t *topo.Topology, tables *Tables, opts PlanOpts, aonRouting *m
 		accum = append(accum, ps.AlwaysOn)
 	}
 	excluded := map[topo.LinkID]bool{}
+	// excludedLinks mirrors excluded as a dense slice: Avoid predicates
+	// consult it per arc in the innermost Dijkstra loop, where a map
+	// lookup is measurable.
+	excludedLinks := make([]bool, t.NumLinks())
+	var shape *traffic.Matrix
+	if opts.Mode == ModeStress {
+		shape = traffic.Gravity(t, traffic.GravityOpts{Nodes: opts.Nodes, TotalRate: 1})
+	}
 
 	for round := 0; round < rounds; round++ {
 		sf := StressFactorPaths(t, accum)
 		for id := range ExcludableStressed(t, sf, opts.StressExclude, excluded) {
 			excluded[id] = true
+			excludedLinks[id] = true
 		}
 		var paths map[[2]topo.NodeID]topo.Path
 		var err error
 		switch opts.Mode {
 		case ModeStress:
-			paths, err = onDemandStress(t, tables, opts, excluded)
+			paths, err = onDemandStress(t, tables, opts, shape, excludedLinks)
 		case ModeSolver:
-			paths, err = onDemandSolver(t, tables, opts, excluded, round)
+			paths, err = onDemandSolver(t, tables, opts, excludedLinks, round)
 		case ModeOSPF:
 			paths, err = onDemandOSPF(t, tables, round)
 		case ModeHeuristic:
@@ -335,7 +356,7 @@ func planOnDemand(t *topo.Topology, tables *Tables, opts PlanOpts, aonRouting *m
 // paper's sensitivity result: 20 % exclusion suffices for always-on +
 // on-demand to accommodate peak demands).
 func onDemandStress(t *topo.Topology, tables *Tables, opts PlanOpts,
-	excluded map[topo.LinkID]bool) (map[[2]topo.NodeID]topo.Path, error) {
+	shape *traffic.Matrix, excluded []bool) (map[[2]topo.NodeID]topo.Path, error) {
 
 	avoid := func(a topo.Arc) bool { return excluded[a.Link] }
 	// Shape the sizing demand with the capacity-based gravity estimate
@@ -343,7 +364,6 @@ func onDemandStress(t *topo.Topology, tables *Tables, opts PlanOpts,
 	// demand-oblivious (§5.1 uses the same estimate when matrices are
 	// unavailable) — and size it near the largest routable load while
 	// avoiding the excluded links, derated to 80 % for slack.
-	shape := traffic.Gravity(t, traffic.GravityOpts{Nodes: opts.Nodes, TotalRate: 1})
 	deltaMax := mcf.MaxFeasibleScale(t, shape, mcf.RouteOpts{
 		MaxUtil: opts.MaxUtil, Avoid: avoid,
 	}, 0.05)
@@ -352,8 +372,14 @@ func onDemandStress(t *topo.Topology, tables *Tables, opts PlanOpts,
 		sizing = shape.Scale(0.8 * deltaMax)
 	}
 	if debugOnDemand {
+		nex := 0
+		for _, x := range excluded {
+			if x {
+				nex++
+			}
+		}
 		fmt.Printf("[core] onDemandStress: excluded=%d deltaMax=%.3g total=%.3g\n",
-			len(excluded), deltaMax, sizing.Total())
+			nex, deltaMax, sizing.Total())
 	}
 	low := sizing.Demands()
 	_, routing, err := mcf.OptimalSubset(t, low, opts.Model, mcf.OptimalOpts{
@@ -381,7 +407,7 @@ func onDemandStress(t *topo.Topology, tables *Tables, opts PlanOpts,
 
 // onDemandSolver carries always-on X/Y fixed and solves with d_peak.
 func onDemandSolver(t *topo.Topology, tables *Tables, opts PlanOpts,
-	excluded map[topo.LinkID]bool, round int) (map[[2]topo.NodeID]topo.Path, error) {
+	excluded []bool, round int) (map[[2]topo.NodeID]topo.Path, error) {
 
 	demands := opts.PeakTM.Demands()
 	var avoid func(a topo.Arc) bool
@@ -460,29 +486,33 @@ func pathsByPair(tables *Tables, r *mcf.Routing) (map[[2]topo.NodeID]topo.Path, 
 // the graph allows it, otherwise the minimum-overlap path via a heavy
 // penalty on reused links.
 func planFailover(t *topo.Topology, tables *Tables) {
+	ws := spf.NewWorkspace()
+	used := make([]bool, t.NumLinks())
+	avoidUsed := spf.Options{
+		Avoid: func(a topo.Arc) bool { return used[a.Link] },
+	}
+	penalizeUsed := spf.Options{
+		Weight: func(a topo.Arc) float64 {
+			w := a.Latency
+			if used[a.Link] {
+				w *= 1000
+			}
+			return w
+		},
+	}
 	for _, k := range tables.PairKeys() {
 		ps := tables.Pairs[k]
-		used := map[topo.LinkID]bool{}
+		clear(used)
 		for _, p := range ps.Levels() {
 			for _, aid := range p.Arcs {
 				used[t.Arc(aid).Link] = true
 			}
 		}
 		// Strict disjointness first.
-		p, ok := spf.ShortestPath(t, k[0], k[1], spf.Options{
-			Avoid: func(a topo.Arc) bool { return used[a.Link] },
-		})
+		p, ok := ws.ShortestPath(t, k[0], k[1], avoidUsed)
 		if !ok || p.Empty() {
 			// Minimum overlap: penalize reused links 1000×.
-			p, ok = spf.ShortestPath(t, k[0], k[1], spf.Options{
-				Weight: func(a topo.Arc) float64 {
-					w := a.Latency
-					if used[a.Link] {
-						w *= 1000
-					}
-					return w
-				},
-			})
+			p, ok = ws.ShortestPath(t, k[0], k[1], penalizeUsed)
 			if !ok {
 				continue // disconnected pair: no failover possible
 			}

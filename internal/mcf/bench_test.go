@@ -1,0 +1,79 @@
+package mcf
+
+import (
+	"testing"
+
+	"response/internal/power"
+	"response/internal/topo"
+	"response/internal/traffic"
+)
+
+// Planning-engine micro-benchmarks (run with -benchmem). They pin the
+// delta-rerouting and parallel-restart wins at the mcf layer so the
+// top-level BenchmarkPlanGeant regression can be localized.
+
+func geantEpsilonDemands() (*topo.Topology, []traffic.Demand) {
+	g := topo.NewGeant()
+	var nodes []topo.NodeID
+	for _, n := range g.Nodes() {
+		nodes = append(nodes, n.ID)
+	}
+	return g, traffic.Uniform(nodes, 1).Demands()
+}
+
+// BenchmarkGreedyMinSubset is the ε-demand always-on solve (§4.1): the
+// capacity-slack regime where delta-rerouting replaces the per-trial
+// full re-solve.
+func BenchmarkGreedyMinSubset(b *testing.B) {
+	g, demands := geantEpsilonDemands()
+	m := power.Cisco12000{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := GreedyMinSubset(g, demands, m, GreedyOpts{Order: PowerDesc}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGreedyMinSubsetFullReroute is the reference engine on the
+// same instance: the ratio to BenchmarkGreedyMinSubset is the
+// delta-rerouting speedup.
+func BenchmarkGreedyMinSubsetFullReroute(b *testing.B) {
+	g, demands := geantEpsilonDemands()
+	m := power.Cisco12000{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := GreedyMinSubset(g, demands, m, GreedyOpts{Order: PowerDesc, FullReroute: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimalSubset is the whole multi-restart search (3
+// deterministic orderings + 4 random restarts on the worker pool).
+func BenchmarkOptimalSubset(b *testing.B) {
+	g, demands := geantEpsilonDemands()
+	m := power.Cisco12000{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := OptimalSubset(g, demands, m, OptimalOpts{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouteDemands is one from-scratch feasibility solve — the
+// unit the greedy loop used to pay per switch-off candidate.
+func BenchmarkRouteDemands(b *testing.B) {
+	g, demands := geantEpsilonDemands()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RouteDemands(g, demands, RouteOpts{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

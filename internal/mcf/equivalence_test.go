@@ -1,0 +1,233 @@
+package mcf
+
+import (
+	"runtime"
+	"testing"
+
+	"response/internal/power"
+	"response/internal/topo"
+	"response/internal/traffic"
+)
+
+// equivTopologies are the named topologies the equivalence properties
+// run on, plus deterministic random graphs.
+func equivTopologies(t *testing.T) map[string]*topo.Topology {
+	t.Helper()
+	ft, err := topo.NewFatTree(4, topo.FatTreeOpts{WithHosts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]*topo.Topology{
+		"geant":    topo.NewGeant(),
+		"example":  topo.NewExample(topo.ExampleOpts{}).Topology,
+		"fattree4": ft.Topology,
+	}
+	for _, seed := range []int64{7, 19, 43} {
+		tp := randomEquivTopology(seed)
+		out[tp.Name] = tp
+	}
+	return out
+}
+
+// randomEquivTopology builds a deterministic random router mesh with
+// mixed capacities, tight enough that capacity constraints bind.
+func randomEquivTopology(seed int64) *topo.Topology {
+	tp := topo.New("rand" + string(rune('A'+seed%26)))
+	rng := seed
+	next := func(n int64) int64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		v := rng % n
+		if v < 0 {
+			v += n
+		}
+		return v
+	}
+	nodes := int(8 + next(5))
+	ids := make([]topo.NodeID, nodes)
+	for i := range ids {
+		ids[i] = tp.AddNode(string(rune('A'+i)), topo.KindRouter)
+	}
+	caps := []float64{100 * topo.Mbps, 400 * topo.Mbps, 1 * topo.Gbps}
+	for i := 1; i < nodes; i++ {
+		tp.AddLink(ids[i-1], ids[i], caps[next(3)], float64(1+next(5))/1000)
+	}
+	for c := 0; c < nodes; c++ {
+		a, b := int(next(int64(nodes))), int(next(int64(nodes)))
+		if a == b {
+			continue
+		}
+		if _, dup := tp.ArcBetween(ids[a], ids[b]); dup {
+			continue
+		}
+		tp.AddLink(ids[a], ids[b], caps[next(3)], float64(1+next(5))/1000)
+	}
+	return tp
+}
+
+// demandSets returns one capacity-slack (ε) and one capacity-binding
+// demand set for a topology.
+func demandSets(t *testing.T, tp *topo.Topology) map[string][]traffic.Demand {
+	t.Helper()
+	var endpoints []topo.NodeID
+	for _, n := range tp.Nodes() {
+		if n.Kind == topo.KindHost {
+			endpoints = append(endpoints, n.ID)
+		}
+	}
+	if len(endpoints) == 0 {
+		for _, n := range tp.Nodes() {
+			endpoints = append(endpoints, n.ID)
+		}
+	}
+	eps := traffic.Uniform(endpoints, 1).Demands()
+	shape := traffic.Gravity(tp, traffic.GravityOpts{Nodes: endpoints, TotalRate: 1})
+	scale := MaxFeasibleScale(tp, shape, RouteOpts{}, 0.05)
+	sets := map[string][]traffic.Demand{"epsilon": eps}
+	if scale > 0 {
+		sets["tight"] = shape.Scale(0.8 * scale).Demands()
+	}
+	return sets
+}
+
+func routingsEqual(a, b *Routing) bool {
+	if len(a.Paths) != len(b.Paths) {
+		return false
+	}
+	for k, p := range a.Paths {
+		q, ok := b.Paths[k]
+		if !ok || !p.Equal(q) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestIncrementalMatchesFullReroute is the central equivalence
+// property of the delta-rerouting engine: on every topology, demand
+// set, and candidate ordering, the incremental greedy must produce the
+// same active set, the same routing, and the same power as the
+// from-scratch reference implementation.
+func TestIncrementalMatchesFullReroute(t *testing.T) {
+	m := power.Cisco12000{}
+	for name, tp := range equivTopologies(t) {
+		for dname, demands := range demandSets(t, tp) {
+			for _, ord := range []Order{PowerDesc, PowerAsc, DegreeAsc, Random} {
+				opts := GreedyOpts{Order: ord, Seed: 99}
+				aInc, rInc, errInc := GreedyMinSubset(tp, demands, m, opts)
+				opts.FullReroute = true
+				aRef, rRef, errRef := GreedyMinSubset(tp, demands, m, opts)
+				label := name + "/" + dname
+				if (errInc == nil) != (errRef == nil) {
+					t.Fatalf("%s order %d: error mismatch: inc=%v ref=%v", label, ord, errInc, errRef)
+				}
+				if errInc != nil {
+					continue
+				}
+				if !aInc.Equal(aRef) {
+					t.Errorf("%s order %d: active sets differ: inc=%v ref=%v", label, ord, aInc, aRef)
+					continue
+				}
+				wInc := power.NetworkWatts(tp, m, aInc)
+				wRef := power.NetworkWatts(tp, m, aRef)
+				if wInc != wRef {
+					t.Errorf("%s order %d: watts differ: inc=%v ref=%v", label, ord, wInc, wRef)
+				}
+				if !routingsEqual(rInc, rRef) {
+					t.Errorf("%s order %d: routings differ", label, ord)
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalMatchesFullRerouteKeepOn covers the pinned-elements
+// path the planner's on-demand stage exercises (§4.2: always-on X/Y
+// carried over).
+func TestIncrementalMatchesFullRerouteKeepOn(t *testing.T) {
+	m := power.Cisco12000{}
+	tp := topo.NewGeant()
+	for dname, demands := range demandSets(t, tp) {
+		// Pin the elements an ε-subset solve keeps on, as Plan does.
+		keep, _, err := GreedyMinSubset(tp, demandSets(t, tp)["epsilon"], m, GreedyOpts{Order: PowerDesc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := GreedyOpts{Order: PowerDesc, KeepOn: keep}
+		aInc, rInc, errInc := GreedyMinSubset(tp, demands, m, opts)
+		opts.FullReroute = true
+		aRef, rRef, errRef := GreedyMinSubset(tp, demands, m, opts)
+		if (errInc == nil) != (errRef == nil) {
+			t.Fatalf("%s: error mismatch: inc=%v ref=%v", dname, errInc, errRef)
+		}
+		if errInc != nil {
+			continue
+		}
+		if !aInc.Equal(aRef) {
+			t.Errorf("%s: active sets differ: inc=%v ref=%v", dname, aInc, aRef)
+		}
+		if !routingsEqual(rInc, rRef) {
+			t.Errorf("%s: routings differ", dname)
+		}
+	}
+}
+
+// TestOptimalSubsetDeterministicAcrossGOMAXPROCS asserts that the
+// parallel multi-restart search returns bit-identical results no
+// matter how many workers the scheduler gets: the winner selection
+// tie-breaks on run index, not completion order.
+func TestOptimalSubsetDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	m := power.Cisco12000{}
+	tp := topo.NewGeant()
+	demands := demandSets(t, tp)["epsilon"]
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	type run struct {
+		active  *topo.ActiveSet
+		routing *Routing
+		watts   float64
+	}
+	var runs []run
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		a, r, err := OptimalSubset(tp, demands, m, OptimalOpts{Seed: 5})
+		if err != nil {
+			t.Fatalf("GOMAXPROCS=%d: %v", procs, err)
+		}
+		runs = append(runs, run{active: a, routing: r, watts: power.NetworkWatts(tp, m, a)})
+	}
+	for i := 1; i < len(runs); i++ {
+		if !runs[0].active.Equal(runs[i].active) {
+			t.Errorf("active set differs between GOMAXPROCS settings (run 0 vs %d)", i)
+		}
+		if runs[0].watts != runs[i].watts {
+			t.Errorf("watts differ: %v vs %v", runs[0].watts, runs[i].watts)
+		}
+		if !routingsEqual(runs[0].routing, runs[i].routing) {
+			t.Errorf("routing differs between GOMAXPROCS settings (run 0 vs %d)", i)
+		}
+	}
+}
+
+// TestOptimalSubsetIncrementalMatchesReference cross-checks the whole
+// multi-restart pipeline in both engine modes.
+func TestOptimalSubsetIncrementalMatchesReference(t *testing.T) {
+	m := power.Cisco12000{}
+	tp := topo.NewExample(topo.ExampleOpts{}).Topology
+	for dname, demands := range demandSets(t, tp) {
+		aInc, rInc, err := OptimalSubset(tp, demands, m, OptimalOpts{Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", dname, err)
+		}
+		aRef, rRef, err := OptimalSubset(tp, demands, m, OptimalOpts{Seed: 3, FullReroute: true})
+		if err != nil {
+			t.Fatalf("%s ref: %v", dname, err)
+		}
+		if !aInc.Equal(aRef) {
+			t.Errorf("%s: active sets differ: inc=%v ref=%v", dname, aInc, aRef)
+		}
+		if !routingsEqual(rInc, rRef) {
+			t.Errorf("%s: routings differ", dname)
+		}
+	}
+}

@@ -154,13 +154,18 @@ func MaxFeasibleScale(t *topo.Topology, base *traffic.Matrix, opts RouteOpts, to
 	if tol <= 0 {
 		tol = 0.01
 	}
-	demands := base.Demands()
+	// The probe loop below runs dozens of feasibility solves; sort the
+	// demands once (scaling by s > 0 preserves the first-fit-decreasing
+	// order) and reuse one workspace and one scaled buffer throughout.
+	demands := sortDemands(base.Demands())
+	scaled := make([]traffic.Demand, len(demands))
+	ws := spf.NewWorkspace()
 	feasible := func(s float64) bool {
-		scaled := make([]traffic.Demand, len(demands))
 		for i, d := range demands {
 			scaled[i] = traffic.Demand{O: d.O, D: d.D, Rate: d.Rate * s}
 		}
-		return Feasible(t, scaled, opts)
+		_, err := routeDemandsSorted(t, scaled, opts, ws)
+		return err == nil
 	}
 	if !feasible(1e-9) {
 		return 0

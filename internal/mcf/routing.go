@@ -37,6 +37,20 @@ func NewRouting(t *topo.Topology) *Routing {
 	}
 }
 
+// clone returns a copy sharing the (immutable) path arc slices but
+// owning its Paths map and Load vector, so the copy can be patched
+// independently.
+func (r *Routing) clone() *Routing {
+	c := &Routing{
+		Paths: make(map[[2]topo.NodeID]topo.Path, len(r.Paths)),
+		Load:  append([]float64(nil), r.Load...),
+	}
+	for k, v := range r.Paths {
+		c.Paths[k] = v
+	}
+	return c
+}
+
 // Path returns the path assigned to (o,d).
 func (r *Routing) Path(o, d topo.NodeID) (topo.Path, bool) {
 	p, ok := r.Paths[[2]topo.NodeID{o, d}]
@@ -144,9 +158,9 @@ type RouteOpts struct {
 }
 
 func (o *RouteOpts) defaults() {
-	if o.Weight == nil {
-		o.Weight = spf.Latency()
-	}
+	// Weight stays nil here: loadAwareOptions special-cases the default
+	// (latency) so the innermost Dijkstra loop skips one indirect call
+	// per arc.
 	if o.MaxUtil == 0 {
 		o.MaxUtil = 1.0
 	}
@@ -165,13 +179,31 @@ func (o *RouteOpts) defaults() {
 //
 // It returns ErrInfeasible if some demand cannot be placed.
 func RouteDemands(t *topo.Topology, demands []traffic.Demand, opts RouteOpts) (*Routing, error) {
+	return routeDemandsSorted(t, sortDemands(demands), opts, spf.NewWorkspace())
+}
+
+// sortDemands returns the demands in first-fit-decreasing order. The
+// planning loops sort once and reuse the result across every trial
+// instead of re-copying and re-sorting per feasibility check.
+func sortDemands(demands []traffic.Demand) []traffic.Demand {
+	ordered := append([]traffic.Demand(nil), demands...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Rate > ordered[j].Rate })
+	return ordered
+}
+
+// penaltyLadder is the spreading-penalty retry schedule of RouteDemands.
+func penaltyLadder(base float64) [3]float64 { return [3]float64{base, base * 4, 0} }
+
+// routeDemandsSorted is RouteDemands over a pre-sorted demand list and
+// an explicit Dijkstra workspace.
+func routeDemandsSorted(t *topo.Topology, sorted []traffic.Demand, opts RouteOpts, ws *spf.Workspace) (*Routing, error) {
 	opts.defaults()
-	ladder := []float64{opts.LoadPenalty, opts.LoadPenalty * 4, 0}
+	ladder := penaltyLadder(opts.LoadPenalty)
 	var lastErr error
 	for _, penalty := range ladder {
 		o := opts
 		o.LoadPenalty = penalty
-		r, err := routePass(t, demands, o)
+		r, err := routePass(t, sorted, o, ws)
 		if err == nil {
 			return r, nil
 		}
@@ -180,19 +212,21 @@ func RouteDemands(t *topo.Topology, demands []traffic.Demand, opts RouteOpts) (*
 	return nil, lastErr
 }
 
-// routePass is one first-fit-decreasing placement attempt.
-func routePass(t *topo.Topology, demands []traffic.Demand, opts RouteOpts) (*Routing, error) {
+// routePass is one first-fit-decreasing placement attempt. The weight
+// closure is built once per pass (not per demand) and every search runs
+// through ws, so the pass allocates only the routing it returns.
+func routePass(t *topo.Topology, sorted []traffic.Demand, opts RouteOpts, ws *spf.Workspace) (*Routing, error) {
 	r := NewRouting(t)
-	ordered := append([]traffic.Demand(nil), demands...)
-	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Rate > ordered[j].Rate })
-
-	for _, d := range ordered {
+	var rate float64
+	so := loadAwareOptions(opts, r.Load, &rate)
+	for _, d := range sorted {
 		if d.O == d.D || d.Rate == 0 {
 			r.Paths[[2]topo.NodeID{d.O, d.D}] = topo.Path{}
 			continue
 		}
-		p, ok := routeOne(t, r.Load, d, opts)
-		if !ok {
+		rate = d.Rate
+		p, ok := ws.ShortestPath(t, d.O, d.D, so)
+		if !ok || p.Empty() {
 			return nil, fmt.Errorf("%w: %d->%d rate %.3g", ErrInfeasible, d.O, d.D, d.Rate)
 		}
 		r.Assign(d.O, d.D, p, d.Rate)
@@ -200,26 +234,32 @@ func routePass(t *topo.Topology, demands []traffic.Demand, opts RouteOpts) (*Rou
 	return r, nil
 }
 
-// routeOne finds a path for one demand under current loads.
-func routeOne(t *topo.Topology, load []float64, d traffic.Demand, opts RouteOpts) (topo.Path, bool) {
-	base := opts.Weight
-	w := func(a topo.Arc) float64 {
-		capa := a.Capacity * opts.MaxUtil
-		if load[a.ID]+d.Rate > capa+1e-9 {
-			return math.Inf(1) // would overflow: prune
+// loadAwareOptions builds the capacity-pruning, load-penalized search
+// options over a live load vector; *rate selects the demand being
+// placed. The same closure serves a whole pass. The default latency
+// weight is inlined rather than dispatched through a WeightFunc.
+func loadAwareOptions(opts RouteOpts, load []float64, rate *float64) spf.Options {
+	var w spf.WeightFunc
+	if base := opts.Weight; base == nil {
+		w = func(a topo.Arc) float64 {
+			capa := a.Capacity * opts.MaxUtil
+			if load[a.ID]+*rate > capa+1e-9 {
+				return math.Inf(1) // would overflow: prune
+			}
+			util := load[a.ID] / capa
+			return a.Latency * (1 + opts.LoadPenalty*util)
 		}
-		util := load[a.ID] / capa
-		return base(a) * (1 + opts.LoadPenalty*util)
+	} else {
+		w = func(a topo.Arc) float64 {
+			capa := a.Capacity * opts.MaxUtil
+			if load[a.ID]+*rate > capa+1e-9 {
+				return math.Inf(1) // would overflow: prune
+			}
+			util := load[a.ID] / capa
+			return base(a) * (1 + opts.LoadPenalty*util)
+		}
 	}
-	p, ok := spf.ShortestPath(t, d.O, d.D, spf.Options{
-		Weight: w,
-		Active: opts.Active,
-		Avoid:  opts.Avoid,
-	})
-	if !ok || p.Empty() {
-		return topo.Path{}, false
-	}
-	return p, true
+	return spf.Options{Weight: w, Active: opts.Active, Avoid: opts.Avoid}
 }
 
 // Feasible reports whether all demands fit on the active subgraph.

@@ -6,12 +6,15 @@
 // All searches refuse to transit through hosts (hosts may only be path
 // endpoints) and can be restricted to the powered subgraph via an
 // ActiveSet.
+//
+// Searches run over a reusable Workspace (epoch-stamped label arrays
+// plus an inline binary heap) so the hot planning loops in mcf and core
+// perform no per-search allocations; the package-level functions below
+// draw workspaces from a pool for callers that don't manage their own.
 package spf
 
 import (
-	"container/heap"
 	"math"
-	"sort"
 
 	"response/internal/topo"
 )
@@ -72,27 +75,6 @@ func (o Options) usable(t *topo.Topology, a topo.Arc) bool {
 	return true
 }
 
-type pqItem struct {
-	node topo.NodeID
-	dist float64
-	idx  int
-}
-
-type pq []*pqItem
-
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i]; q[i].idx = i; q[j].idx = j }
-func (q *pq) Push(x interface{}) { it := x.(*pqItem); it.idx = len(*q); *q = append(*q, it) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return it
-}
-
 // Tree is a single-source shortest-path tree.
 type Tree struct {
 	Source  topo.NodeID
@@ -103,51 +85,11 @@ type Tree struct {
 // ShortestTree runs Dijkstra from src under opts. Hosts are never
 // expanded unless they are the source, so paths cannot transit hosts.
 func ShortestTree(t *topo.Topology, src topo.NodeID, opts Options) Tree {
-	n := t.NumNodes()
-	w := opts.weight()
-	tree := Tree{
-		Source:  src,
-		Dist:    make([]float64, n),
-		PrevArc: make([]topo.ArcID, n),
-	}
-	for i := range tree.Dist {
-		tree.Dist[i] = math.Inf(1)
-		tree.PrevArc[i] = -1
-	}
-	if opts.Active != nil && t.Node(src).Kind != topo.KindHost && !opts.Active.Router[src] {
-		return tree
-	}
-	tree.Dist[src] = 0
-	q := &pq{}
-	heap.Push(q, &pqItem{node: src, dist: 0})
-	done := make([]bool, n)
-	for q.Len() > 0 {
-		it := heap.Pop(q).(*pqItem)
-		u := it.node
-		if done[u] {
-			continue
-		}
-		done[u] = true
-		if t.Node(u).Kind == topo.KindHost && u != src {
-			continue // hosts terminate paths
-		}
-		for _, aid := range t.Out(u) {
-			a := t.Arc(aid)
-			if !opts.usable(t, a) {
-				continue
-			}
-			wt := w(a)
-			if math.IsInf(wt, 1) || wt < 0 {
-				continue
-			}
-			if nd := tree.Dist[u] + wt; nd < tree.Dist[a.To] {
-				tree.Dist[a.To] = nd
-				tree.PrevArc[a.To] = aid
-				heap.Push(q, &pqItem{node: a.To, dist: nd})
-			}
-		}
-	}
-	return tree
+	ws := wsPool.Get().(*Workspace)
+	ws.run(t, src, opts, -1)
+	tr := ws.tree(t)
+	wsPool.Put(ws)
+	return tr
 }
 
 // PathTo extracts the path from the tree's source to dst.
@@ -175,8 +117,10 @@ func ShortestPath(t *topo.Topology, o, d topo.NodeID, opts Options) (topo.Path, 
 	if o == d {
 		return topo.Path{}, true
 	}
-	tree := ShortestTree(t, o, opts)
-	return tree.PathTo(t, d)
+	ws := wsPool.Get().(*Workspace)
+	p, ok := ws.ShortestPath(t, o, d, opts)
+	wsPool.Put(ws)
+	return p, ok
 }
 
 // PathWeight sums the option weight over a path's arcs.
@@ -189,22 +133,87 @@ func PathWeight(t *topo.Topology, p topo.Path, opts Options) float64 {
 	return s
 }
 
+// kCand is one pending Yen candidate; seq breaks weight ties toward
+// older candidates, keeping the selection deterministic.
+type kCand struct {
+	p   topo.Path
+	w   float64
+	seq int
+}
+
+// candHeap is a min-heap of candidates keyed (w, seq). It replaces the
+// previous full re-sort of the candidate list on every iteration.
+type candHeap []kCand
+
+func (h candHeap) less(i, j int) bool {
+	if h[i].w != h[j].w {
+		return h[i].w < h[j].w
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *candHeap) push(c kCand) {
+	*h = append(*h, c)
+	s := *h
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !s.less(j, i) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+func (h *candHeap) pop() kCand {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && s.less(j2, j1) {
+			j = j2
+		}
+		if !s.less(j, i) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	c := s[n]
+	*h = s[:n]
+	return c
+}
+
 // KShortest returns up to k loop-free shortest paths from o to d in
 // non-decreasing weight order using Yen's algorithm.
 func KShortest(t *topo.Topology, o, d topo.NodeID, k int, opts Options) []topo.Path {
+	ws := wsPool.Get().(*Workspace)
+	out := ws.KShortest(t, o, d, k, opts)
+	wsPool.Put(ws)
+	return out
+}
+
+// KShortest is Yen's algorithm threaded through the workspace: spur
+// searches reuse the Dijkstra scratch state and the candidate pool is
+// kept as a heap instead of being re-sorted every round.
+func (ws *Workspace) KShortest(t *topo.Topology, o, d topo.NodeID, k int, opts Options) []topo.Path {
 	if k <= 0 {
 		return nil
 	}
-	first, ok := ShortestPath(t, o, d, opts)
+	first, ok := ws.ShortestPath(t, o, d, opts)
 	if !ok || first.Empty() {
 		return nil
 	}
 	paths := []topo.Path{first}
-	type cand struct {
-		p topo.Path
-		w float64
-	}
-	var cands []cand
+	var cands candHeap
+	seq := 0
 	seen := map[string]bool{first.Key(): true}
 
 	for len(paths) < k {
@@ -213,7 +222,7 @@ func KShortest(t *topo.Topology, o, d topo.NodeID, k int, opts Options) []topo.P
 		// Spur from each node of the previous path.
 		for i := 0; i < len(prev.Arcs); i++ {
 			spurNode := prevNodes[i]
-			rootArcs := append([]topo.ArcID(nil), prev.Arcs[:i]...)
+			rootArcs := prev.Arcs[:i]
 			banned := map[topo.ArcID]bool{}
 			// Ban the next arc of every accepted path sharing this root.
 			for _, p := range paths {
@@ -235,11 +244,11 @@ func KShortest(t *topo.Topology, o, d topo.NodeID, k int, opts Options) []topo.P
 				}
 				return banned[a.ID] || rootNodes[a.To]
 			}
-			spur, ok := ShortestPath(t, spurNode, d, sub)
+			spur, ok := ws.ShortestPath(t, spurNode, d, sub)
 			if !ok || spur.Empty() {
 				continue
 			}
-			full := topo.Path{Arcs: append(append([]topo.ArcID(nil), rootArcs...), spur.Arcs...)}
+			full := topo.Path{Arcs: append(append(make([]topo.ArcID, 0, i+len(spur.Arcs)), rootArcs...), spur.Arcs...)}
 			if full.Check(t) != nil {
 				continue
 			}
@@ -248,14 +257,13 @@ func KShortest(t *topo.Topology, o, d topo.NodeID, k int, opts Options) []topo.P
 				continue
 			}
 			seen[key] = true
-			cands = append(cands, cand{p: full, w: PathWeight(t, full, opts)})
+			cands.push(kCand{p: full, w: PathWeight(t, full, opts), seq: seq})
+			seq++
 		}
 		if len(cands) == 0 {
 			break
 		}
-		sort.Slice(cands, func(i, j int) bool { return cands[i].w < cands[j].w })
-		paths = append(paths, cands[0].p)
-		cands = cands[1:]
+		paths = append(paths, cands.pop().p)
 	}
 	return paths
 }
@@ -275,14 +283,23 @@ func sameArcs(a, b []topo.ArcID) bool {
 // ECMPPaths enumerates equal-cost shortest paths from o to d (up to
 // maxPaths, default 16), the standard ECMP baseline of Figure 4.
 func ECMPPaths(t *topo.Topology, o, d topo.NodeID, maxPaths int, opts Options) []topo.Path {
+	ws := wsPool.Get().(*Workspace)
+	out := ws.ECMPPaths(t, o, d, maxPaths, opts)
+	wsPool.Put(ws)
+	return out
+}
+
+// ECMPPaths enumerates equal-cost shortest paths using the workspace's
+// label arrays directly, without materializing a Tree.
+func (ws *Workspace) ECMPPaths(t *topo.Topology, o, d topo.NodeID, maxPaths int, opts Options) []topo.Path {
 	if maxPaths <= 0 {
 		maxPaths = 16
 	}
 	if o == d {
 		return nil
 	}
-	tree := ShortestTree(t, o, opts)
-	if math.IsInf(tree.Dist[d], 1) {
+	ws.run(t, o, opts, -1)
+	if math.IsInf(ws.distAt(d), 1) {
 		return nil
 	}
 	w := opts.weight()
@@ -303,6 +320,7 @@ func ECMPPaths(t *topo.Topology, o, d topo.NodeID, maxPaths int, opts Options) [
 			out = append(out, topo.Path{Arcs: arcs})
 			return
 		}
+		dn := ws.distAt(n)
 		for _, aid := range t.In(n) {
 			a := t.Arc(aid)
 			if !opts.usable(t, a) {
@@ -315,7 +333,7 @@ func ECMPPaths(t *topo.Topology, o, d topo.NodeID, maxPaths int, opts Options) [
 			if math.IsInf(wt, 1) {
 				continue
 			}
-			if math.Abs(tree.Dist[a.From]+wt-tree.Dist[n]) <= eps*(1+tree.Dist[n]) {
+			if math.Abs(ws.distAt(a.From)+wt-dn) <= eps*(1+dn) {
 				stack = append(stack, aid)
 				dfs(a.From)
 				stack = stack[:len(stack)-1]
