@@ -1,0 +1,227 @@
+package response
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"response/internal/core"
+	"response/internal/topo"
+)
+
+// The plan artifact format: a fixed 40-byte binary header followed by a
+// JSON payload. The header makes an artifact self-describing and
+// refusable without parsing the body; the JSON body keeps the path
+// tables inspectable with standard tooling.
+//
+//	offset size field
+//	0      8    magic "RESPLAN\n"
+//	8      2    format version, big-endian uint16 (ArtifactVersion)
+//	10     2    reserved, must be zero
+//	12     8    topology fingerprint, big-endian uint64
+//	20     8    tables fingerprint, big-endian uint64
+//	28     4    CRC-32 (IEEE) of the payload
+//	32     8    payload length in bytes, big-endian uint64
+//	40     …    JSON payload (pairs in deterministic order)
+//
+// Version policy: the version is bumped whenever the header layout or
+// payload schema changes incompatibly; readers reject any version they
+// were not built for (ErrVersionSkew) rather than guessing. Writers
+// always emit the current version.
+const (
+	// ArtifactVersion is the plan artifact format version this build
+	// reads and writes.
+	ArtifactVersion = 1
+
+	artifactMagic      = "RESPLAN\n"
+	artifactHeaderSize = 40
+	// maxArtifactPayload bounds the payload allocation when reading
+	// untrusted artifacts (far above any real plan's size).
+	maxArtifactPayload = 1 << 26
+)
+
+// planPayload is the JSON body of a plan artifact.
+type planPayload struct {
+	Topology string        `json:"topology"`
+	Variant  string        `json:"variant"`
+	Pairs    []pairPayload `json:"pairs"`
+}
+
+// pairPayload serializes one pair's installed paths as arc-ID sequences.
+type pairPayload struct {
+	O        int     `json:"o"`
+	D        int     `json:"d"`
+	AlwaysOn []int   `json:"always_on"`
+	OnDemand [][]int `json:"on_demand,omitempty"`
+	Failover []int   `json:"failover,omitempty"`
+}
+
+func arcInts(p topo.Path) []int {
+	if p.Empty() {
+		return nil
+	}
+	out := make([]int, len(p.Arcs))
+	for i, a := range p.Arcs {
+		out[i] = int(a)
+	}
+	return out
+}
+
+func pathFromInts(t *topo.Topology, arcs []int) (topo.Path, error) {
+	if len(arcs) == 0 {
+		return topo.Path{}, nil
+	}
+	ids := make([]topo.ArcID, len(arcs))
+	for i, a := range arcs {
+		ids[i] = topo.ArcID(a)
+	}
+	return topo.NewPath(t, ids)
+}
+
+// marshalPayload renders the plan's canonical JSON body: pairs in
+// PairKeys order, paths as arc-ID arrays. There is exactly one valid
+// serialization of a given plan; ReadPlanFrom enforces it.
+func (p *Plan) marshalPayload() ([]byte, error) {
+	payload := planPayload{Topology: p.topo.Name, Variant: p.tables.Variant}
+	for _, k := range p.tables.PairKeys() {
+		ps := p.tables.Pairs[k]
+		pp := pairPayload{
+			O: int(k[0]), D: int(k[1]),
+			AlwaysOn: arcInts(ps.AlwaysOn),
+			Failover: arcInts(ps.Failover),
+		}
+		for _, od := range ps.OnDemand {
+			pp.OnDemand = append(pp.OnDemand, arcInts(od))
+		}
+		payload.Pairs = append(payload.Pairs, pp)
+	}
+	return json.Marshal(&payload)
+}
+
+// WriteTo serializes the plan in the versioned artifact format. The
+// output is deterministic: the same plan always produces the same
+// bytes, and a ReadPlanFrom→WriteTo round trip is byte-identical.
+// It implements io.WriterTo.
+func (p *Plan) WriteTo(w io.Writer) (int64, error) {
+	body, err := p.marshalPayload()
+	if err != nil {
+		return 0, err
+	}
+
+	var hdr [artifactHeaderSize]byte
+	copy(hdr[0:8], artifactMagic)
+	binary.BigEndian.PutUint16(hdr[8:10], ArtifactVersion)
+	binary.BigEndian.PutUint64(hdr[12:20], p.topo.Fingerprint())
+	binary.BigEndian.PutUint64(hdr[20:28], p.tables.Fingerprint())
+	binary.BigEndian.PutUint32(hdr[28:32], crc32.ChecksumIEEE(body))
+	binary.BigEndian.PutUint64(hdr[32:40], uint64(len(body)))
+
+	n, err := w.Write(hdr[:])
+	total := int64(n)
+	if err != nil {
+		return total, err
+	}
+	n, err = w.Write(body)
+	return total + int64(n), err
+}
+
+// ReadPlanFrom deserializes a plan artifact against the topology it was
+// computed for. Every failure mode returns an error — never a panic —
+// classified under ErrBadArtifact, ErrVersionSkew or
+// ErrTopologyMismatch; a plan is only returned after its paths have
+// been validated against t and its content fingerprint has been
+// re-verified, so a loaded plan drives the online controller and the
+// simulator exactly as the freshly computed one would.
+func ReadPlanFrom(r io.Reader, t *Topology) (*Plan, error) {
+	var hdr [artifactHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadArtifact, err)
+	}
+	if string(hdr[0:8]) != artifactMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadArtifact)
+	}
+	if v := binary.BigEndian.Uint16(hdr[8:10]); v != ArtifactVersion {
+		return nil, fmt.Errorf("%w: artifact version %d, this build reads version %d",
+			ErrVersionSkew, v, ArtifactVersion)
+	}
+	if hdr[10] != 0 || hdr[11] != 0 {
+		return nil, fmt.Errorf("%w: nonzero reserved bytes", ErrBadArtifact)
+	}
+	if fp := binary.BigEndian.Uint64(hdr[12:20]); fp != t.Fingerprint() {
+		return nil, fmt.Errorf("%w: artifact %016x vs %q %016x",
+			ErrTopologyMismatch, fp, t.Name, t.Fingerprint())
+	}
+	tablesFP := binary.BigEndian.Uint64(hdr[20:28])
+	crc := binary.BigEndian.Uint32(hdr[28:32])
+	size := binary.BigEndian.Uint64(hdr[32:40])
+	if size > maxArtifactPayload {
+		return nil, fmt.Errorf("%w: payload length %d exceeds limit", ErrBadArtifact, size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("%w: truncated payload: %v", ErrBadArtifact, err)
+	}
+	if got := crc32.ChecksumIEEE(body); got != crc {
+		return nil, fmt.Errorf("%w: payload checksum mismatch", ErrBadArtifact)
+	}
+	var payload planPayload
+	if err := json.Unmarshal(body, &payload); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadArtifact, err)
+	}
+
+	tables := &core.Tables{
+		Topo:    t,
+		Pairs:   make(map[[2]topo.NodeID]*core.PathSet, len(payload.Pairs)),
+		Variant: payload.Variant,
+	}
+	for _, pp := range payload.Pairs {
+		if pp.O < 0 || pp.O >= t.NumNodes() || pp.D < 0 || pp.D >= t.NumNodes() || pp.O == pp.D {
+			return nil, fmt.Errorf("%w: bad pair %d->%d", ErrBadArtifact, pp.O, pp.D)
+		}
+		key := [2]topo.NodeID{topo.NodeID(pp.O), topo.NodeID(pp.D)}
+		if _, dup := tables.Pairs[key]; dup {
+			return nil, fmt.Errorf("%w: duplicate pair %d->%d", ErrBadArtifact, pp.O, pp.D)
+		}
+		ps := &core.PathSet{}
+		var err error
+		if ps.AlwaysOn, err = pathFromInts(t, pp.AlwaysOn); err != nil {
+			return nil, fmt.Errorf("%w: pair %d->%d always-on: %v", ErrBadArtifact, pp.O, pp.D, err)
+		}
+		if ps.AlwaysOn.Empty() {
+			return nil, fmt.Errorf("%w: pair %d->%d has no always-on path", ErrBadArtifact, pp.O, pp.D)
+		}
+		for li, od := range pp.OnDemand {
+			pth, err := pathFromInts(t, od)
+			if err != nil {
+				return nil, fmt.Errorf("%w: pair %d->%d on-demand[%d]: %v", ErrBadArtifact, pp.O, pp.D, li, err)
+			}
+			ps.OnDemand = append(ps.OnDemand, pth)
+		}
+		if ps.Failover, err = pathFromInts(t, pp.Failover); err != nil {
+			return nil, fmt.Errorf("%w: pair %d->%d failover: %v", ErrBadArtifact, pp.O, pp.D, err)
+		}
+		tables.Pairs[key] = ps
+	}
+	tables.ComputeAlwaysOnSet()
+	if err := tables.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadArtifact, err)
+	}
+	if got := tables.Fingerprint(); got != tablesFP {
+		return nil, fmt.Errorf("%w: content fingerprint %016x, header says %016x",
+			ErrBadArtifact, got, tablesFP)
+	}
+	plan := &Plan{topo: t, tables: tables}
+	// Canonical-form check: the payload must be byte-for-byte what this
+	// build would write for these tables. This rejects hand-edited
+	// bodies the fingerprints cannot see (reordered pairs, a rewritten
+	// topology/variant string, cosmetic JSON changes) and upgrades the
+	// round-trip guarantee to a hard invariant: every accepted artifact
+	// re-serializes to exactly the bytes that were read.
+	if canonical, err := plan.marshalPayload(); err != nil || !bytes.Equal(canonical, body) {
+		return nil, fmt.Errorf("%w: payload not in canonical form", ErrBadArtifact)
+	}
+	return plan, nil
+}

@@ -14,8 +14,7 @@ import (
 	"log"
 	"os"
 
-	"response/internal/experiments"
-	"response/internal/trace"
+	"response/experiments"
 )
 
 func main() {
@@ -31,7 +30,7 @@ func main() {
 		res.Print(os.Stdout)
 		if *csv != "" {
 			writeCSV(*csv, func(f *os.File) error {
-				return trace.WritePoints(f, "change_pct", "ccdf", res.CCDF)
+				return experiments.WritePoints(f, "change_pct", "ccdf", res.CCDF)
 			})
 		}
 	case "1b":

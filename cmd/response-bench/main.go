@@ -16,8 +16,8 @@ import (
 	"os"
 	"time"
 
-	"response/internal/experiments"
-	"response/internal/topo"
+	"response/experiments"
+	"response/topology"
 )
 
 func main() {
@@ -89,7 +89,7 @@ func main() {
 	web.Print(os.Stdout)
 
 	section("§4.1 always-on capacity share")
-	for _, t := range []*topo.Topology{topo.NewGeant(), topo.NewGenuity()} {
+	for _, t := range []*topology.Topology{topology.NewGeant(), topology.NewGenuity()} {
 		share, err := experiments.RunAlwaysOnShare(t)
 		fail(err)
 		fmt.Printf("  %s: always-on paths carry %.0f%% of OSPF-routable volume (paper: ≈50%%)\n",

@@ -1,76 +1,148 @@
-// Command response-paths precomputes and prints the REsPoNse routing
-// tables for a topology: the always-on, on-demand and failover paths of
-// every origin-destination pair, plus the always-on element set and
-// tunnel accounting relevant to deployment (§4.5).
+// Command response-paths precomputes, prints, exports and reloads the
+// REsPoNse routing tables of a topology: the always-on, on-demand and
+// failover paths of every origin-destination pair, plus the always-on
+// element set and tunnel accounting relevant to deployment (§4.5).
 //
 // Usage:
 //
-//	response-paths -topo geant|abovenet|genuity|pop-access|fattree4|fig3
+//	response-paths [print] -topo geant|abovenet|genuity|pop-access|fattree4|fig3
 //	               [-n 3] [-beta 0] [-mode stress|ospf|heuristic] [-pairs 5]
+//	response-paths export -out plan.rplan [same planning flags]
+//	response-paths load -in plan.rplan -topo geant [-pairs 5]
+//
+// export writes the plan in the versioned artifact format
+// (response.ArtifactVersion); load installs it against the named
+// topology — refusing version skew or a topology mismatch — and prints
+// it exactly as print would, demonstrating the paper's compute-once /
+// install-anywhere deployment model.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
-	"response/internal/core"
-	"response/internal/mcf"
-	"response/internal/power"
-	"response/internal/topo"
-	"response/internal/traffic"
+	"response"
+	"response/topology"
+	"response/trafficmatrix"
 )
 
 func main() {
-	name := flag.String("topo", "geant", "topology: geant, abovenet, genuity, pop-access, fattree4, fig3")
-	n := flag.Int("n", 3, "number of energy-critical paths per pair")
-	beta := flag.Float64("beta", 0, "latency bound β (>0 enables REsPoNse-lat)")
-	mode := flag.String("mode", "stress", "on-demand mode: stress, ospf, heuristic")
-	showPairs := flag.Int("pairs", 5, "number of pairs to print in full")
-	flag.Parse()
+	log.SetFlags(0)
+	args := os.Args[1:]
+	cmd := "print"
+	if len(args) > 0 && (args[0] == "print" || args[0] == "export" || args[0] == "load") {
+		cmd, args = args[0], args[1:]
+	}
+
+	fs := flag.NewFlagSet("response-paths "+cmd, flag.ExitOnError)
+	name := fs.String("topo", "geant", "topology: geant, abovenet, genuity, pop-access, fattree4, fig3")
+	showPairs := fs.Int("pairs", 5, "number of pairs to print in full")
+	var n *int
+	var beta *float64
+	var mode, out *string
+	if cmd != "load" {
+		n = fs.Int("n", 3, "number of energy-critical paths per pair")
+		beta = fs.Float64("beta", 0, "latency bound β (>0 enables REsPoNse-lat)")
+		mode = fs.String("mode", "stress", "on-demand mode: stress, ospf, heuristic")
+	}
+	if cmd == "export" {
+		out = fs.String("out", "plan.rplan", "artifact file to write")
+	}
+	var in *string
+	if cmd == "load" {
+		in = fs.String("in", "plan.rplan", "artifact file to read")
+	}
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		log.Fatalf("unexpected arguments %q (subcommands go first: response-paths %s ... )",
+			fs.Args(), cmd)
+	}
 
 	t, err := buildTopo(*name)
 	if err != nil {
 		log.Fatal(err)
 	}
-	model := power.Cisco12000{}
-	opts := core.PlanOpts{Model: model, N: *n, Beta: *beta}
-	switch *mode {
-	case "stress":
-		opts.Mode = core.ModeStress
-	case "ospf":
-		opts.Mode = core.ModeOSPF
-	case "heuristic":
-		opts.Mode = core.ModeHeuristic
-		base := traffic.Gravity(t, traffic.GravityOpts{TotalRate: 1})
-		scale := mcf.MaxFeasibleScale(t, base, mcf.RouteOpts{}, 0.02)
-		opts.PeakTM = base.Scale(scale * 0.9)
-	default:
-		log.Fatalf("unknown mode %q", *mode)
+
+	var plan *response.Plan
+	if cmd == "load" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		plan, err = response.ReadPlanFrom(f, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded %s (fingerprint %016x)\n", *in, plan.Fingerprint())
+	} else {
+		opts := []response.Option{
+			response.WithPaths(*n),
+			response.WithDelayBound(*beta),
+		}
+		switch *mode {
+		case "stress":
+			opts = append(opts, response.WithMode(response.ModeStress))
+		case "ospf":
+			opts = append(opts, response.WithMode(response.ModeOSPF))
+		case "heuristic":
+			base := trafficmatrix.Gravity(t, trafficmatrix.GravityOpts{TotalRate: 1})
+			scale := response.MaxRoutableScale(t, base)
+			opts = append(opts,
+				response.WithMode(response.ModeHeuristic),
+				response.WithPeakMatrix(base.Scale(scale*0.9)))
+		default:
+			log.Fatalf("unknown mode %q", *mode)
+		}
+		plan, err = response.NewPlanner(opts...).Plan(context.Background(), t)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
-	tables, err := core.Plan(t, opts)
-	if err != nil {
-		log.Fatal(err)
+	if cmd == "export" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nbytes, err := plan.WriteTo(f)
+		if err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: %d bytes, format v%d, fingerprint %016x\n",
+			*out, nbytes, response.ArtifactVersion, plan.Fingerprint())
+		return
 	}
-	fmt.Printf("topology: %s\nvariant:  %s\n", t, tables.Variant)
-	r, l := tables.AlwaysOnSet.CountOn()
+
+	printPlan(t, plan, *showPairs)
+}
+
+func printPlan(t *topology.Topology, plan *response.Plan, showPairs int) {
+	model := response.Cisco12000{}
+	fmt.Printf("topology: %s\nvariant:  %s\n", t, plan.Variant())
+	r, l := plan.AlwaysOnSet().CountOn()
 	fmt.Printf("always-on set: %d/%d routers, %d/%d links\n",
 		r, t.NumNodes(), l, t.NumLinks())
 	fmt.Printf("installed tunnels: %d total, max %d per node (2005-era budget: ≈600)\n",
-		tables.TunnelCount(), tables.MaxTunnelsPerNode())
-	full := power.FullWatts(t, model)
-	aon := power.NetworkWatts(t, model, tables.AlwaysOnSet)
+		plan.TunnelCount(), plan.MaxTunnelsPerNode())
+	full := response.FullWatts(t, model)
+	aon := response.NetworkWatts(t, model, plan.AlwaysOnSet())
 	fmt.Printf("power: full %.1f kW, always-on set %.1f kW (%.0f%%)\n\n",
 		full/1000, aon/1000, 100*aon/full)
 
-	keys := tables.PairKeys()
+	keys := plan.Pairs()
 	for i, k := range keys {
-		if i >= *showPairs {
+		if i >= showPairs {
 			fmt.Printf("... %d more pairs\n", len(keys)-i)
 			break
 		}
-		ps := tables.Pairs[k]
+		ps, _ := plan.PathSet(k[0], k[1])
 		fmt.Printf("%s -> %s\n", t.Node(k[0]).Name, t.Node(k[1]).Name)
 		fmt.Printf("  always-on: %s (%.1f ms)\n",
 			ps.AlwaysOn.Format(t), ps.AlwaysOn.Latency(t)*1000)
@@ -83,24 +155,24 @@ func main() {
 	}
 }
 
-func buildTopo(name string) (*topo.Topology, error) {
+func buildTopo(name string) (*topology.Topology, error) {
 	switch name {
 	case "geant":
-		return topo.NewGeant(), nil
+		return topology.NewGeant(), nil
 	case "abovenet":
-		return topo.NewAbovenet(), nil
+		return topology.NewAbovenet(), nil
 	case "genuity":
-		return topo.NewGenuity(), nil
+		return topology.NewGenuity(), nil
 	case "pop-access":
-		return topo.NewPopAccess(topo.PopAccessOpts{}).Topology, nil
+		return topology.NewPopAccess(topology.PopAccessOpts{}).Topology, nil
 	case "fattree4":
-		ft, err := topo.NewFatTree(4, topo.FatTreeOpts{WithHosts: true})
+		ft, err := topology.NewFatTree(4, topology.FatTreeOpts{WithHosts: true})
 		if err != nil {
 			return nil, err
 		}
 		return ft.Topology, nil
 	case "fig3":
-		return topo.NewExample(topo.ExampleOpts{}).Topology, nil
+		return topology.NewExample(topology.ExampleOpts{}).Topology, nil
 	}
 	return nil, fmt.Errorf("unknown topology %q", name)
 }

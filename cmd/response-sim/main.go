@@ -14,7 +14,7 @@ import (
 	"log"
 	"os"
 
-	"response/internal/experiments"
+	"response/experiments"
 )
 
 func main() {

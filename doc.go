@@ -1,30 +1,58 @@
-// Package response reproduces "Identifying and Using Energy-Critical
-// Paths" (Vasić et al., ACM CoNEXT 2011).
+// Package response is the public v1 API of a reproduction of
+// "Identifying and Using Energy-Critical Paths" (Vasić et al., ACM
+// CoNEXT 2011).
 //
-// REsPoNse is a framework that precomputes a small number of
-// energy-critical paths per origin-destination pair (always-on,
-// on-demand, and failover routing tables), installs them once, and uses
-// a lightweight online traffic-engineering loop to aggregate traffic on
-// always-on paths when demand is low — letting large parts of the
-// network sleep — and to activate on-demand paths when demand rises.
+// REsPoNse precomputes a small number of energy-critical paths per
+// origin-destination pair (always-on, on-demand, and failover routing
+// tables), installs them once, and uses a lightweight online
+// traffic-engineering loop to aggregate traffic on always-on paths when
+// demand is low — letting large parts of the network sleep — and to
+// activate on-demand paths when demand rises.
 //
-// The repository layout mirrors the paper's system inventory:
+// # Planning
 //
-//   - internal/topo:     topology model and builders (fat-tree, GÉANT, ...)
-//   - internal/power:    router/switch power models
-//   - internal/traffic:  traffic matrices, gravity model, synthetic traces
-//   - internal/lp:       simplex + branch-and-bound (CPLEX substitute)
-//   - internal/mcf:      energy-aware routing engine and heuristics
-//   - internal/spf:      shortest-path substrate (Dijkstra, Yen, ECMP)
-//   - internal/core:     the REsPoNse path precomputation framework
-//   - internal/te:       the REsPoNseTE online component
-//   - internal/sim:      discrete-event fluid network simulator
-//   - internal/apps:     streaming and web application workloads
-//   - internal/analysis: recomputation rate, configuration dominance,
-//     energy-critical-path coverage
+// A Planner is configured with functional options and produces a Plan:
 //
-// See DESIGN.md for the full inventory, the design of the incremental
-// allocation-free planning engine (workspace Dijkstra, delta-rerouting,
-// parallel restarts), and the experiment index that maps each benchmark
-// in bench_test.go to its paper figure.
+//	plan, err := response.NewPlanner(
+//	        response.WithPaths(3),
+//	        response.WithMode(response.ModeStress),
+//	).Plan(ctx, topology.NewGeant())
+//
+// Plan honors context cancellation (the optimal-subset restart pool
+// selects on ctx and drains promptly) and classifies solver failures
+// under the sentinel errors ErrCanceled, ErrInfeasible and
+// ErrDelayBound; invalid configurations surface as plain errors before
+// planning starts. Planning is deterministic: identical topology,
+// options and seed yield bit-identical tables regardless of GOMAXPROCS.
+//
+// # Plan artifacts
+//
+// Plans are artifacts, not in-memory side effects: Plan.WriteTo
+// serializes the installed tables in a versioned, self-describing
+// format and ReadPlanFrom installs them in another process — the
+// paper's compute-once-offline, never-recompute-online deployment
+// model. An artifact is a fixed 40-byte binary header (magic
+// "RESPLAN\n", big-endian format version, topology fingerprint, tables
+// fingerprint, payload CRC-32, payload length) followed by a JSON body
+// listing every pair's paths as arc-ID sequences; see artifact.go for
+// the exact layout and the version policy. Readers verify magic,
+// version, checksums and both fingerprints, and re-validate every path
+// against the installing topology, so version skew returns
+// ErrVersionSkew, a wrong topology returns ErrTopologyMismatch, and
+// corruption returns ErrBadArtifact — never a panic. A round trip is
+// byte-identical, and a loaded plan drives the online controller and
+// the simulator exactly as the freshly computed one.
+//
+// # Companion packages
+//
+//   - response/topology:      network model and builders (fat-tree, GÉANT, ...)
+//   - response/trafficmatrix: demand matrices, gravity model, synthetic traces
+//   - response/simulate:      discrete-event simulator + REsPoNseTE controller
+//   - response/experiments:   one entry point per reproduced paper figure
+//
+// The implementation lives under internal/; the public packages are
+// thin, alias-based facades over it, so the engine can keep evolving
+// without breaking consumers. See DESIGN.md for the architecture of the
+// incremental allocation-free planning engine and the experiment index
+// that maps each benchmark in bench_test.go to its paper figure.
 package response

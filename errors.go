@@ -1,0 +1,35 @@
+package response
+
+import (
+	"errors"
+
+	"response/internal/core"
+)
+
+// Sentinel errors returned by Planner.Plan; test with errors.Is.
+var (
+	// ErrInfeasible reports that the demand set cannot be routed on the
+	// topology under the configured utilization ceiling.
+	ErrInfeasible = core.ErrInfeasible
+	// ErrCanceled reports that the context passed to Plan was canceled
+	// (or its deadline expired) before planning completed.
+	ErrCanceled = core.ErrCanceled
+	// ErrDelayBound reports that the REsPoNse-lat (1+β)·OSPF delay bound
+	// requested with WithDelayBound cannot be satisfied for some pair.
+	ErrDelayBound = core.ErrDelayBound
+)
+
+// Sentinel errors returned by ReadPlanFrom; test with errors.Is.
+var (
+	// ErrBadArtifact reports a structurally invalid plan artifact: bad
+	// magic, truncation, checksum or fingerprint corruption, or paths
+	// that do not exist on the topology.
+	ErrBadArtifact = errors.New("response: malformed plan artifact")
+	// ErrVersionSkew reports an artifact written by a format version
+	// this build does not understand.
+	ErrVersionSkew = errors.New("response: unsupported plan artifact version")
+	// ErrTopologyMismatch reports an artifact whose embedded topology
+	// fingerprint does not match the topology it is being loaded
+	// against.
+	ErrTopologyMismatch = errors.New("response: plan artifact topology mismatch")
+)

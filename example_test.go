@@ -1,0 +1,66 @@
+package response_test
+
+// Godoc Example functions for the public v1 API. go test compiles and
+// runs them, so they double as living documentation: if the API or the
+// planner's output drifts, these fail.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"log"
+
+	"response"
+	"response/topology"
+)
+
+// ExamplePlanner plans the paper's Figure 3 topology with the default
+// configuration: N=3 energy-critical paths per pair, stress-mode
+// on-demand computation, Cisco 12000-class power model.
+func ExamplePlanner() {
+	ex := topology.NewExample(topology.ExampleOpts{})
+	planner := response.NewPlanner(
+		response.WithPaths(3),
+		response.WithModel(response.Cisco12000{}),
+	)
+	plan, err := planner.Plan(context.Background(), ex.Topology)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ps, _ := plan.PathSet(ex.A, ex.K)
+	fmt.Println("variant:", plan.Variant())
+	fmt.Println("installed tunnels:", plan.TunnelCount())
+	fmt.Println("levels A->K:", ps.NumLevels())
+	// Output:
+	// variant: REsPoNse
+	// installed tunnels: 216
+	// levels A->K: 3
+}
+
+// ExamplePlan_WriteTo exports a plan in the versioned artifact format
+// and installs it again: the round trip preserves the tables exactly,
+// and loading against the wrong topology is refused.
+func ExamplePlan_WriteTo() {
+	ex := topology.NewExample(topology.ExampleOpts{})
+	plan, err := response.NewPlanner().Plan(context.Background(), ex.Topology)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var artifact bytes.Buffer
+	if _, err := plan.WriteTo(&artifact); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := response.ReadPlanFrom(bytes.NewReader(artifact.Bytes()), ex.Topology)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tables preserved:", loaded.Fingerprint() == plan.Fingerprint())
+
+	_, err = response.ReadPlanFrom(bytes.NewReader(artifact.Bytes()), topology.NewGeant())
+	fmt.Println("wrong topology refused:", errors.Is(err, response.ErrTopologyMismatch))
+	// Output:
+	// tables preserved: true
+	// wrong topology refused: true
+}

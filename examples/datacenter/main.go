@@ -9,36 +9,39 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"response/internal/core"
-	"response/internal/power"
-	"response/internal/topo"
-	"response/internal/traffic"
+	"response"
+	"response/topology"
+	"response/trafficmatrix"
 )
 
 func main() {
-	ft, err := topo.NewFatTree(4, topo.FatTreeOpts{WithHosts: true})
+	ft, err := topology.NewFatTree(4, topology.FatTreeOpts{WithHosts: true})
 	if err != nil {
 		log.Fatal(err)
 	}
-	model := power.NewCommodity(4)
+	model := response.NewCommodityPower(4)
 	fmt.Printf("fat-tree k=4: %d switches, %d hosts, all-on %.0f W\n",
 		ft.NumNodes()-len(ft.AllHosts()), len(ft.AllHosts()),
-		power.FullWatts(ft.Topology, model))
+		response.FullWatts(ft.Topology, model))
 
-	for _, loc := range []traffic.Locality{traffic.Near, traffic.Far} {
-		series := traffic.SineSeries(ft, traffic.SineOpts{Locality: loc, Steps: 10})
+	// One planner configuration serves both localities; per-call options
+	// supply each run's matrices.
+	planner := response.NewPlanner(
+		response.WithModel(model),
+		response.WithMode(response.ModeSolver),
+		// Endpoint hosts exchange sine-wave traffic.
+		response.WithEndpoints(ft.AllHosts()),
+	)
+	for _, loc := range []trafficmatrix.Locality{trafficmatrix.Near, trafficmatrix.Far} {
+		series := trafficmatrix.SineSeries(ft, trafficmatrix.SineOpts{Locality: loc, Steps: 10})
 		peak := series.Peak()
-		tables, err := core.Plan(ft.Topology, core.PlanOpts{
-			Model: model,
-			Mode:  core.ModeSolver,
-			// Endpoint hosts exchange sine-wave traffic.
-			Nodes:  ft.AllHosts(),
-			LowTM:  series.OffPeak(),
-			PeakTM: peak,
-		})
+		plan, err := planner.Plan(context.Background(), ft.Topology,
+			response.WithLowMatrix(series.OffPeak()),
+			response.WithPeakMatrix(peak))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -46,7 +49,7 @@ func main() {
 		fmt.Println("  time   demand%   ecmp-power%   response-power%")
 		peakTotal := peak.Total()
 		for i, m := range series.Matrices {
-			res := tables.Evaluate(m, model, 0.9)
+			res := plan.Evaluate(m, model, 0.9)
 			fmt.Printf("  %4d   %6.0f    %10.0f    %14.1f\n",
 				i, 100*m.Total()/peakTotal, 100.0, res.PctOfFull)
 		}

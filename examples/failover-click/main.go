@@ -10,37 +10,36 @@ import (
 	"fmt"
 	"log"
 
-	"response/internal/power"
-	"response/internal/sim"
-	"response/internal/te"
-	"response/internal/topo"
+	"response"
+	"response/simulate"
+	"response/topology"
 )
 
 func main() {
-	ex := topo.NewExample(topo.ExampleOpts{})
-	pinned := topo.AllOff(ex.Topology)
+	ex := topology.NewExample(topology.ExampleOpts{})
+	pinned := topology.AllOff(ex.Topology)
 	pinned.ActivatePath(ex.Topology, ex.MiddlePath(ex.A))
 	pinned.ActivatePath(ex.Topology, ex.MiddlePath(ex.C))
 
-	s := sim.New(ex.Topology, sim.Opts{
+	s := simulate.New(ex.Topology, simulate.Opts{
 		WakeUpDelay:      0.010, // 10 ms: projected future hardware
 		SleepAfterIdle:   0.050,
 		FailureDetect:    0.050, // 50 ms detection
 		FailurePropagate: 0.050, // 50 ms ≈ 3 hops of 16.67 ms
-		Model:            power.Cisco12000{},
+		Model:            response.Cisco12000{},
 		PinnedOn:         pinned,
 	})
-	ctrl := te.NewController(s, te.Opts{Threshold: 0.9, Gamma: 0.5})
+	ctrl := simulate.NewController(s, simulate.ControllerOpts{Threshold: 0.9, Gamma: 0.5})
 
 	// 5 flows of ~0.5 Mbps from A and from C toward K (≈5 Mbps total),
 	// initially split across both available paths.
-	fa, err := s.AddFlow(ex.A, ex.K, 2.5*topo.Mbps,
-		[]topo.Path{ex.MiddlePath(ex.A), ex.UpperPath()})
+	fa, err := s.AddFlow(ex.A, ex.K, 2.5*topology.Mbps,
+		[]topology.Path{ex.MiddlePath(ex.A), ex.UpperPath()})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fc, err := s.AddFlow(ex.C, ex.K, 2.5*topo.Mbps,
-		[]topo.Path{ex.MiddlePath(ex.C), ex.LowerPath()})
+	fc, err := s.AddFlow(ex.C, ex.K, 2.5*topology.Mbps,
+		[]topology.Path{ex.MiddlePath(ex.C), ex.LowerPath()})
 	if err != nil {
 		log.Fatal(err)
 	}

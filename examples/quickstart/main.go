@@ -1,44 +1,64 @@
-// Command quickstart is a sixty-second tour of the REsPoNse library:
+// Command quickstart is a sixty-second tour of the public REsPoNse API:
 // build a topology, precompute the three energy-critical routing tables
-// off-line, and watch the network power scale with offered load without
-// ever recomputing a table.
+// once with a Planner, serialize the plan to a portable artifact and
+// load it back, then watch network power scale with offered load —
+// without ever recomputing a table.
+//
+// Everything here comes from the public packages: response (planning,
+// artifacts, power models), response/topology (network builders) and
+// response/trafficmatrix (demand models).
 package main
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"log"
 
-	"response/internal/core"
-	"response/internal/mcf"
-	"response/internal/power"
-	"response/internal/topo"
-	"response/internal/traffic"
+	"response"
+	"response/topology"
+	"response/trafficmatrix"
 )
 
 func main() {
 	// 1. A topology: the GÉANT European research network (23 PoPs).
-	g := topo.NewGeant()
+	g := topology.NewGeant()
 	fmt.Println("topology:", g)
 
-	// 2. A power model: Cisco 12000-class chassis and line cards.
-	model := power.Cisco12000{}
-	fmt.Printf("all-on network power: %.1f kW\n", power.FullWatts(g, model)/1000)
+	// 2. A power model: Cisco 12000-class chassis and line cards (the
+	//    planner's default; WithModel swaps it).
+	model := response.Cisco12000{}
+	fmt.Printf("all-on network power: %.1f kW\n", response.FullWatts(g, model)/1000)
 
-	// 3. Precompute the REsPoNse tables once, off-line. No traffic
-	//    matrix needed: the ε-demand trick finds minimal-power
-	//    connectivity, and the stress-factor heuristic derives
-	//    on-demand paths that dodge likely bottlenecks.
-	tables, err := core.Plan(g, core.PlanOpts{Model: model})
+	// 3. Precompute the REsPoNse plan once, off-line. No traffic matrix
+	//    needed: the ε-demand trick finds minimal-power connectivity,
+	//    and the stress-factor heuristic derives on-demand paths that
+	//    dodge likely bottlenecks. The context cancels long solves.
+	plan, err := response.NewPlanner().Plan(context.Background(), g)
 	if err != nil {
 		log.Fatal(err)
 	}
-	r, l := tables.AlwaysOnSet.CountOn()
+	r, l := plan.AlwaysOnSet().CountOn()
 	fmt.Printf("always-on set: %d routers, %d of %d links\n", r, l, g.NumLinks())
+
+	// 4. Plans are artifacts: export once, install anywhere. The format
+	//    is versioned and fingerprinted, so loading against the wrong
+	//    topology (or a corrupted file) fails loudly.
+	var artifact bytes.Buffer
+	if _, err := plan.WriteTo(&artifact); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := response.ReadPlanFrom(bytes.NewReader(artifact.Bytes()), g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("artifact round trip: %d bytes, fingerprints match: %v\n",
+		artifact.Len(), loaded.Fingerprint() == plan.Fingerprint())
 
 	// Inspect the installed paths of one pair.
 	uk, _ := g.NodeByName("UK")
 	gr, _ := g.NodeByName("GR")
-	ps, _ := tables.PathSetFor(uk, gr)
+	ps, _ := loaded.PathSet(uk, gr)
 	fmt.Println("\ninstalled paths UK -> GR:")
 	fmt.Println("  always-on:", ps.AlwaysOn.Format(g))
 	for i, p := range ps.OnDemand {
@@ -46,15 +66,15 @@ func main() {
 	}
 	fmt.Println("  failover: ", ps.Failover.Format(g))
 
-	// 4. Apply traffic of increasing intensity. The same tables serve
-	//    every load level; power scales with demand. (Real ISP
+	// 5. Apply traffic of increasing intensity. The same (loaded!) plan
+	//    serves every load level; power scales with demand. (Real ISP
 	//    backbones run well below their theoretical maximum — the
 	//    ladder below spans a night valley to a heavy day peak.)
-	base := traffic.Gravity(g, traffic.GravityOpts{TotalRate: 1})
-	maxScale := mcf.MaxFeasibleScale(g, base, mcf.RouteOpts{}, 0.02)
+	base := trafficmatrix.Gravity(g, trafficmatrix.GravityOpts{TotalRate: 1})
+	maxScale := response.MaxRoutableScale(g, base)
 	fmt.Println("\nutilization -> network power (same tables, no recomputation):")
 	for _, u := range []float64{0.02, 0.05, 0.10, 0.15, 0.25} {
-		res := tables.Evaluate(base.Scale(maxScale*u), model, 0.9)
+		res := loaded.Evaluate(base.Scale(maxScale*u), model, 0.9)
 		fmt.Printf("  util-%4.1f%%  power %5.1f%% of full   worst link %4.0f%%   on-demand pairs %d\n",
 			u*100, res.PctOfFull, res.MaxUtil*100, sum(res.LevelUse[1:]))
 	}

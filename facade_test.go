@@ -1,0 +1,194 @@
+package response_test
+
+// Facade-level planning tests: the public API must be a pure
+// re-layering — bit-identical tables to the internal planner — and its
+// context plumbing must cancel promptly without leaking goroutines.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"response"
+	"response/topology"
+)
+
+// TestPlanFingerprints pins the exact planner output on the named
+// topologies when planned through the public facade. The constants are
+// the same ones internal/core's TestPlanFingerprints pins against the
+// seed planner: the v1 API is a re-layering, not a re-implementation.
+func TestPlanFingerprints(t *testing.T) {
+	ft, err := topology.NewFatTree(4, topology.FatTreeOpts{WithHosts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		topo    *topology.Topology
+		want    uint64
+		tunnels int
+	}{
+		{"geant", topology.NewGeant(), 6569351175397795390, 1518},
+		{"example", topology.NewExample(topology.ExampleOpts{}).Topology, 2457213049051472932, 216},
+		{"fattree4", ft.Topology, 9603934104780153607, 720},
+	}
+	planner := response.NewPlanner()
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			plan, err := planner.Plan(context.Background(), tc.topo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := plan.Fingerprint(); got != tc.want {
+				t.Errorf("plan fingerprint = %d, want %d (facade output drifted from seed)", got, tc.want)
+			}
+			if n := plan.TunnelCount(); n != tc.tunnels {
+				t.Errorf("tunnel count = %d, want %d", n, tc.tunnels)
+			}
+		})
+	}
+}
+
+// TestPlanCanceled covers the ctx plumbing: a canceled context aborts
+// the restart pool promptly with ErrCanceled and leaves no goroutine
+// behind.
+func TestPlanCanceled(t *testing.T) {
+	g := topology.NewGeant()
+	planner := response.NewPlanner()
+
+	t.Run("pre-canceled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := planner.Plan(ctx, g)
+		if !errors.Is(err, response.ErrCanceled) {
+			t.Fatalf("err = %v, want ErrCanceled", err)
+		}
+	})
+
+	t.Run("mid-restart", func(t *testing.T) {
+		before := runtime.NumGoroutine()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		done := make(chan error, 1)
+		go func() {
+			_, err := planner.Plan(ctx, g)
+			done <- err
+		}()
+		// A full GÉANT plan takes >100 ms; 10 ms lands inside the first
+		// always-on restart pool.
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+		select {
+		case err := <-done:
+			if !errors.Is(err, response.ErrCanceled) {
+				t.Fatalf("err = %v, want ErrCanceled", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("Plan did not return promptly after cancellation")
+		}
+		// The worker pool must have drained; allow the runtime a moment
+		// to retire finished goroutines.
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) && runtime.NumGoroutine() > before {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if after := runtime.NumGoroutine(); after > before {
+			t.Errorf("goroutine leak after canceled Plan: %d before, %d after", before, after)
+		}
+	})
+
+	t.Run("mid-plan-deterministic", func(t *testing.T) {
+		// Cancel from the progress callback right after the always-on
+		// stage: the next on-demand round must observe it.
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		_, err := planner.Plan(ctx, g, response.WithProgress(func(p response.PlanProgress) {
+			if p.Stage == "always-on" {
+				cancel()
+			}
+		}))
+		if !errors.Is(err, response.ErrCanceled) {
+			t.Fatalf("err = %v, want ErrCanceled", err)
+		}
+	})
+}
+
+// TestPlannerProgressAndTrace exercises WithProgress and WithTrace: the
+// stage sequence is complete and in order, and the trace option
+// replaces the old package-level debug flag.
+func TestPlannerProgressAndTrace(t *testing.T) {
+	ex := topology.NewExample(topology.ExampleOpts{})
+	var stages []string
+	var trace bytes.Buffer
+	plan, err := response.NewPlanner().Plan(context.Background(), ex.Topology,
+		response.WithProgress(func(p response.PlanProgress) {
+			stages = append(stages, p.Stage)
+			if p.Total != 4 {
+				t.Errorf("Total = %d, want 4 for N=3", p.Total)
+			}
+		}),
+		response.WithTrace(&trace),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"always-on", "on-demand", "failover", "done"}
+	if len(stages) != len(want) {
+		t.Fatalf("stages = %v, want %v", stages, want)
+	}
+	for i := range want {
+		if stages[i] != want[i] {
+			t.Fatalf("stages = %v, want %v", stages, want)
+		}
+	}
+	if !strings.Contains(trace.String(), "onDemandStress") {
+		t.Errorf("trace output missing planner tracing, got %q", trace.String())
+	}
+	if plan.Variant() != "REsPoNse" {
+		t.Errorf("variant = %q", plan.Variant())
+	}
+}
+
+// TestExplicitZeroOptions: an explicit zero passed to an option must
+// not be silently coerced back to the internal default — zero restarts
+// and zero stress exclusion are honored, and a non-positive utilization
+// ceiling is rejected as a configuration error.
+func TestExplicitZeroOptions(t *testing.T) {
+	ex := topology.NewExample(topology.ExampleOpts{})
+	if _, err := response.NewPlanner(response.WithRestarts(0), response.WithStressFactor(0)).
+		Plan(context.Background(), ex.Topology); err != nil {
+		t.Fatalf("zero restarts / zero stress exclusion must plan, got %v", err)
+	}
+	for _, u := range []float64{0, -0.5} {
+		if _, err := response.NewPlanner(response.WithMaxUtil(u)).
+			Plan(context.Background(), ex.Topology); err == nil {
+			t.Errorf("WithMaxUtil(%g) must fail, got nil error", u)
+		}
+	}
+}
+
+// TestPlannerOptionLayering checks that per-call options override the
+// planner's base options.
+func TestPlannerOptionLayering(t *testing.T) {
+	ex := topology.NewExample(topology.ExampleOpts{})
+	planner := response.NewPlanner(response.WithPaths(3), response.WithSeed(1))
+	p3, err := planner.Plan(context.Background(), ex.Topology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4, err := planner.Plan(context.Background(), ex.Topology, response.WithPaths(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := p3.Pairs()[0]
+	ps3, _ := p3.PathSet(k[0], k[1])
+	ps4, _ := p4.PathSet(k[0], k[1])
+	if ps3.NumLevels() != 3 || ps4.NumLevels() != 4 {
+		t.Errorf("levels = %d and %d, want 3 and 4", ps3.NumLevels(), ps4.NumLevels())
+	}
+}

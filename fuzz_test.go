@@ -1,0 +1,73 @@
+package response_test
+
+// FuzzReadPlanFrom hammers the artifact reader with mutated inputs: it
+// must classify every malformed artifact as an error — never panic —
+// and anything it does accept must re-serialize cleanly.
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"response"
+	"response/topology"
+)
+
+var fuzzSeed = sync.OnceValues(func() ([]byte, error) {
+	ex := topology.NewExample(topology.ExampleOpts{})
+	plan, err := response.NewPlanner().Plan(context.Background(), ex.Topology)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if _, err := plan.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+})
+
+func FuzzReadPlanFrom(f *testing.F) {
+	valid, err := fuzzSeed()
+	if err != nil {
+		f.Fatal(err)
+	}
+	mutate := func(fn func(b []byte)) []byte {
+		b := append([]byte(nil), valid...)
+		fn(b)
+		return b
+	}
+	f.Add(valid)                                        // well-formed
+	f.Add([]byte{})                                     // empty
+	f.Add(valid[:20])                                   // truncated header
+	f.Add(valid[:len(valid)-7])                         // truncated payload
+	f.Add(mutate(func(b []byte) { b[0] = 'Z' }))        // bad magic
+	f.Add(mutate(func(b []byte) { b[9] = 42 }))         // version skew
+	f.Add(mutate(func(b []byte) { b[12] ^= 0xff }))     // wrong topology fp
+	f.Add(mutate(func(b []byte) { b[20] ^= 0xff }))     // wrong tables fp
+	f.Add(mutate(func(b []byte) { b[35] = 0x7f }))      // absurd length
+	f.Add(mutate(func(b []byte) { b[len(b)-3] = '}' })) // JSON damage
+	f.Add(mutate(func(b []byte) { b[60] ^= 0x20 }))     // payload bitflip
+
+	topo := topology.NewExample(topology.ExampleOpts{}).Topology
+	f.Fuzz(func(t *testing.T, data []byte) {
+		plan, err := response.ReadPlanFrom(bytes.NewReader(data), topo)
+		if err != nil {
+			if plan != nil {
+				t.Fatal("non-nil plan alongside error")
+			}
+			return
+		}
+		// Hard invariant: every accepted artifact re-serializes to
+		// exactly the bytes that were consumed (the reader enforces
+		// canonical form; trailing bytes past the payload length are
+		// not part of the artifact).
+		var out bytes.Buffer
+		if _, err := plan.WriteTo(&out); err != nil {
+			t.Fatalf("accepted plan failed to re-serialize: %v", err)
+		}
+		if out.Len() > len(data) || !bytes.Equal(out.Bytes(), data[:out.Len()]) {
+			t.Fatalf("accepted artifact is not canonical: %d bytes in, %d out", len(data), out.Len())
+		}
+	})
+}

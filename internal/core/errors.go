@@ -1,0 +1,18 @@
+package core
+
+import "errors"
+
+// Sentinel errors classifying why a planning run failed. The public
+// response facade re-exports them; callers test with errors.Is.
+var (
+	// ErrInfeasible reports that the demand set cannot be routed on the
+	// topology under the configured utilization ceiling — some pair is
+	// disconnected or capacity is insufficient at any subset.
+	ErrInfeasible = errors.New("response: demands cannot be routed on the topology")
+	// ErrCanceled reports that the caller's context was canceled (or its
+	// deadline expired) before planning completed.
+	ErrCanceled = errors.New("response: planning canceled")
+	// ErrDelayBound reports that the REsPoNse-lat (1+β)·OSPF delay bound
+	// cannot be satisfied for some pair.
+	ErrDelayBound = errors.New("response: delay bound unsatisfiable")
+)

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 
 	"response/internal/topo"
@@ -114,6 +115,32 @@ func (tb *Tables) Validate() error {
 		}
 	}
 	return nil
+}
+
+// Fingerprint hashes the full content of the installed tables — every
+// path of every pair, in deterministic order, plus the always-on
+// element set — into one 64-bit value. Tests pin it to assert that
+// planner outputs are unchanged across refactors of the planning
+// engine, and plan artifacts embed it as an end-to-end integrity check.
+func (tb *Tables) Fingerprint() uint64 {
+	h := fnv.New64a()
+	for _, k := range tb.PairKeys() {
+		ps := tb.Pairs[k]
+		fmt.Fprintf(h, "%d>%d|", k[0], k[1])
+		for _, p := range ps.Levels() {
+			fmt.Fprintf(h, "%s;", p.Key())
+		}
+	}
+	fmt.Fprintf(h, "aon:%d", tb.AlwaysOnSet.Fingerprint())
+	return h.Sum64()
+}
+
+// ComputeAlwaysOnSet rebuilds AlwaysOnSet as the union of the elements
+// of every always-on path — exactly how Plan derives it. Deserialized
+// tables use it to reconstruct the set instead of shipping it in the
+// artifact.
+func (tb *Tables) ComputeAlwaysOnSet() {
+	tb.AlwaysOnSet = alwaysOnElements(tb.Topo, tb)
 }
 
 // TunnelCount returns the total number of installed paths, the quantity

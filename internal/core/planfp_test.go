@@ -1,30 +1,11 @@
 package core
 
 import (
-	"fmt"
-	"hash/fnv"
 	"testing"
 
 	"response/internal/power"
 	"response/internal/topo"
 )
-
-// planFingerprint hashes the full content of the installed tables —
-// every path of every pair, in deterministic order, plus the always-on
-// element set — into one 64-bit value, so tests can assert that planner
-// outputs are unchanged across refactors of the planning engine.
-func planFingerprint(t *topo.Topology, tb *Tables) uint64 {
-	h := fnv.New64a()
-	for _, k := range tb.PairKeys() {
-		ps := tb.Pairs[k]
-		fmt.Fprintf(h, "%d>%d|", k[0], k[1])
-		for _, p := range ps.Levels() {
-			fmt.Fprintf(h, "%s;", p.Key())
-		}
-	}
-	fmt.Fprintf(h, "aon:%d", tb.AlwaysOnSet.Fingerprint())
-	return h.Sum64()
-}
 
 // TestPlanFingerprints pins the exact planner output on the named
 // topologies. The constants were captured from the seed planner
@@ -54,7 +35,7 @@ func TestPlanFingerprints(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got := planFingerprint(tc.topo, tables)
+			got := tables.Fingerprint()
 			if got != tc.want {
 				t.Errorf("plan fingerprint = %d, want %d (planner output drifted from seed)", got, tc.want)
 			}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 
 	"response/internal/mcf"
@@ -11,9 +13,6 @@ import (
 	"response/internal/topo"
 	"response/internal/traffic"
 )
-
-// debugOnDemand enables planner tracing in tests/debug builds.
-var debugOnDemand = false
 
 // Mode selects how on-demand paths are computed (§4.2).
 type Mode int
@@ -63,7 +62,8 @@ type PlanOpts struct {
 	// ≤ (1+Beta) × the OSPF-InvCap path delay. The paper uses 0.25.
 	Beta float64
 	// StressExclude is the fraction of top-stressed links excluded
-	// when computing on-demand paths (default 0.2, §4.2).
+	// when computing on-demand paths (default 0.2, §4.2). Zero selects
+	// the default; a negative value disables exclusion entirely.
 	StressExclude float64
 	// Epsilon is the per-pair demand used for the traffic-oblivious
 	// always-on computation (default 1 bit/s, §4.1).
@@ -75,14 +75,36 @@ type PlanOpts struct {
 	PeakTM *traffic.Matrix
 	// Model prices elements (required).
 	Model power.Model
-	// MaxUtil is the ISP's utilization ceiling (default 1.0).
+	// MaxUtil is the ISP's utilization ceiling, which must be positive
+	// (default 1.0).
 	MaxUtil float64
 	// Nodes is the OD universe (default: hosts if the topology has
 	// any, otherwise all non-host nodes).
 	Nodes []topo.NodeID
-	// RandomRestarts for the optimal-subset search (default 4).
+	// RandomRestarts for the optimal-subset search (default 4; a
+	// negative value disables random restarts, leaving only the
+	// deterministic orderings).
 	RandomRestarts int
 	Seed           int64
+	// Trace, when non-nil, receives human-readable planner tracing
+	// (per-round exclusion and sizing decisions).
+	Trace io.Writer
+	// Progress, when non-nil, is invoked at every stage boundary of the
+	// plan. It runs on the planning goroutine and must return quickly.
+	Progress func(PlanProgress)
+}
+
+// PlanProgress reports planning advancement to a PlanOpts.Progress
+// callback: the stage just completed and the overall step count.
+type PlanProgress struct {
+	// Stage names the completed stage: "always-on", "on-demand",
+	// "failover" or "done".
+	Stage string
+	// Round is the on-demand round just finished (0-based); -1 for the
+	// other stages.
+	Round int
+	// Step and Total count completed stages out of the plan's total.
+	Step, Total int
 }
 
 func (o *PlanOpts) defaults(t *topo.Topology) error {
@@ -101,11 +123,17 @@ func (o *PlanOpts) defaults(t *topo.Topology) error {
 	if o.Epsilon == 0 {
 		o.Epsilon = 1 // 1 bit/s
 	}
+	if o.MaxUtil < 0 {
+		return fmt.Errorf("core: MaxUtil must be positive, got %g", o.MaxUtil)
+	}
 	if o.MaxUtil == 0 {
 		o.MaxUtil = 1.0
 	}
 	if o.Nodes == nil {
 		o.Nodes = DefaultEndpoints(t)
+	}
+	if o.Mode < ModeStress || o.Mode > ModeHeuristic {
+		return fmt.Errorf("core: unknown mode %v", o.Mode)
 	}
 	if (o.Mode == ModeSolver || o.Mode == ModeHeuristic) && o.PeakTM == nil {
 		return fmt.Errorf("core: mode %v requires PeakTM", o.Mode)
@@ -134,9 +162,42 @@ func DefaultEndpoints(t *topo.Topology) []topo.NodeID {
 // via the min-power solve, N-2 on-demand tables via the selected mode,
 // and one failover path per pair (§4.1–4.3).
 func Plan(t *topo.Topology, opts PlanOpts) (*Tables, error) {
+	return PlanContext(context.Background(), t, opts)
+}
+
+// wrapPlanErr classifies err under the package sentinels so public
+// callers can dispatch with errors.Is: context cancellation maps to
+// ErrCanceled, delay-bound violations keep ErrDelayBound, and anything
+// else that stopped the solve is a routing infeasibility.
+func wrapPlanErr(prefix string, err error) error {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, ErrCanceled):
+		return fmt.Errorf("%s: %w", prefix, ErrCanceled)
+	case errors.Is(err, ErrDelayBound), errors.Is(err, ErrInfeasible):
+		return fmt.Errorf("%s: %w", prefix, err)
+	default:
+		return fmt.Errorf("%s: %w: %v", prefix, ErrInfeasible, err)
+	}
+}
+
+// emit delivers one progress event if the caller asked for them.
+func (o *PlanOpts) emit(stage string, round, step, total int) {
+	if o.Progress != nil {
+		o.Progress(PlanProgress{Stage: stage, Round: round, Step: step, Total: total})
+	}
+}
+
+// PlanContext is Plan with cancellation: ctx is threaded through every
+// optimal-subset search, including the parallel restart pool, and a
+// canceled context aborts planning promptly with an error satisfying
+// errors.Is(err, ErrCanceled).
+func PlanContext(ctx context.Context, t *topo.Topology, opts PlanOpts) (*Tables, error) {
 	if err := opts.defaults(t); err != nil {
 		return nil, err
 	}
+	rounds := opts.N - 2
+	total := rounds + 3 // always-on + rounds + failover + done
 	lowTM := opts.LowTM
 	if lowTM == nil {
 		lowTM = traffic.Uniform(opts.Nodes, opts.Epsilon)
@@ -163,21 +224,22 @@ func Plan(t *topo.Topology, opts PlanOpts) (*Tables, error) {
 					continue
 				}
 				if p.Latency(t) > bound+1e-12 {
-					return fmt.Errorf("pair %v exceeds delay bound", k)
+					return fmt.Errorf("pair %v exceeds delay bound: %w", k, ErrDelayBound)
 				}
 			}
 			return nil
 		}
 	}
-	_, aonRouting, err := mcf.OptimalSubset(t, lowDemands, opts.Model, mcf.OptimalOpts{
+	_, aonRouting, err := mcf.OptimalSubsetContext(ctx, t, lowDemands, opts.Model, mcf.OptimalOpts{
 		RandomRestarts: opts.RandomRestarts,
 		Seed:           opts.Seed,
 		Route:          mcf.RouteOpts{MaxUtil: opts.MaxUtil},
 		Check:          check,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("core: always-on computation: %w", err)
+		return nil, wrapPlanErr("core: always-on computation", err)
 	}
+	opts.emit("always-on", -1, 1, total)
 
 	tables := &Tables{
 		Topo:    t,
@@ -187,7 +249,7 @@ func Plan(t *topo.Topology, opts PlanOpts) (*Tables, error) {
 	for _, d := range lowDemands {
 		p, ok := aonRouting.Path(d.O, d.D)
 		if !ok {
-			return nil, fmt.Errorf("core: no always-on path %d->%d", d.O, d.D)
+			return nil, fmt.Errorf("core: no always-on path %d->%d: %w", d.O, d.D, ErrInfeasible)
 		}
 		tables.Pairs[[2]topo.NodeID{d.O, d.D}] = &PathSet{AlwaysOn: p}
 	}
@@ -202,16 +264,18 @@ func Plan(t *topo.Topology, opts PlanOpts) (*Tables, error) {
 	tables.AlwaysOnSet = alwaysOnElements(t, tables)
 
 	// ---- On-demand tables (§4.2). ----
-	if err := planOnDemand(t, tables, opts, aonRouting); err != nil {
+	if err := planOnDemand(ctx, t, tables, opts, total); err != nil {
 		return nil, err
 	}
 
 	// ---- Failover paths (§4.3). ----
 	planFailover(t, tables)
+	opts.emit("failover", -1, rounds+2, total)
 
 	if err := tables.Validate(); err != nil {
 		return nil, err
 	}
+	opts.emit("done", -1, total, total)
 	return tables, nil
 }
 
@@ -228,7 +292,7 @@ func delayBounds(t *topo.Topology, nodes []topo.NodeID, beta float64) (map[[2]to
 			}
 			p, ok := tree.PathTo(t, d)
 			if !ok {
-				return nil, fmt.Errorf("core: no OSPF path %d->%d", o, d)
+				return nil, fmt.Errorf("core: no OSPF path %d->%d: %w", o, d, ErrInfeasible)
 			}
 			out[[2]topo.NodeID{o, d}] = (1 + beta) * p.Latency(t)
 		}
@@ -254,7 +318,7 @@ func enforceLatencyBound(t *topo.Topology, tables *Tables, opts PlanOpts,
 			// derive its bound directly.
 			ref, found := spf.ShortestPath(t, k[0], k[1], ospf)
 			if !found {
-				return fmt.Errorf("core: no OSPF path %v", k)
+				return fmt.Errorf("core: no OSPF path %v: %w", k, ErrInfeasible)
 			}
 			bound = (1 + opts.Beta) * ref.Latency(t)
 		}
@@ -279,7 +343,7 @@ func enforceLatencyBound(t *topo.Topology, tables *Tables, opts PlanOpts,
 			// The latency-shortest path always satisfies the bound
 			// (min-latency ≤ OSPF latency ≤ bound); KShortest returns
 			// it first, so this is unreachable unless disconnected.
-			return fmt.Errorf("core: no bounded path %v", k)
+			return fmt.Errorf("core: no bounded path %v: %w", k, ErrDelayBound)
 		}
 		ps.AlwaysOn = best
 		active.ActivatePath(t, best)
@@ -299,7 +363,7 @@ func alwaysOnElements(t *topo.Topology, tables *Tables) *topo.ActiveSet {
 // planOnDemand computes the N-2 on-demand tables per the mode. Work
 // invariant across rounds — the capacity-gravity sizing shape — is
 // computed once here rather than per round.
-func planOnDemand(t *topo.Topology, tables *Tables, opts PlanOpts, aonRouting *mcf.Routing) error {
+func planOnDemand(ctx context.Context, t *topo.Topology, tables *Tables, opts PlanOpts, total int) error {
 	rounds := opts.N - 2
 	// Stress accumulates over always-on plus previously computed
 	// on-demand assignments so each round diversifies further.
@@ -318,6 +382,9 @@ func planOnDemand(t *topo.Topology, tables *Tables, opts PlanOpts, aonRouting *m
 	}
 
 	for round := 0; round < rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return wrapPlanErr(fmt.Sprintf("core: on-demand round %d", round), err)
+		}
 		sf := StressFactorPaths(t, accum)
 		for id := range ExcludableStressed(t, sf, opts.StressExclude, excluded) {
 			excluded[id] = true
@@ -327,9 +394,9 @@ func planOnDemand(t *topo.Topology, tables *Tables, opts PlanOpts, aonRouting *m
 		var err error
 		switch opts.Mode {
 		case ModeStress:
-			paths, err = onDemandStress(t, tables, opts, shape, excludedLinks)
+			paths, err = onDemandStress(ctx, t, tables, opts, shape, excludedLinks)
 		case ModeSolver:
-			paths, err = onDemandSolver(t, tables, opts, excludedLinks, round)
+			paths, err = onDemandSolver(ctx, t, tables, opts, excludedLinks, round)
 		case ModeOSPF:
 			paths, err = onDemandOSPF(t, tables, round)
 		case ModeHeuristic:
@@ -338,12 +405,13 @@ func planOnDemand(t *topo.Topology, tables *Tables, opts PlanOpts, aonRouting *m
 			err = fmt.Errorf("core: unknown mode %v", opts.Mode)
 		}
 		if err != nil {
-			return fmt.Errorf("core: on-demand round %d: %w", round, err)
+			return wrapPlanErr(fmt.Sprintf("core: on-demand round %d", round), err)
 		}
 		for k, p := range paths {
 			tables.Pairs[k].OnDemand = append(tables.Pairs[k].OnDemand, p)
 			accum = append(accum, p)
 		}
+		opts.emit("on-demand", round, 2+round, total)
 	}
 	return nil
 }
@@ -355,7 +423,7 @@ func planOnDemand(t *topo.Topology, tables *Tables, opts PlanOpts, aonRouting *m
 // retains the capacity needed to absorb peak-hour overflow (the
 // paper's sensitivity result: 20 % exclusion suffices for always-on +
 // on-demand to accommodate peak demands).
-func onDemandStress(t *topo.Topology, tables *Tables, opts PlanOpts,
+func onDemandStress(ctx context.Context, t *topo.Topology, tables *Tables, opts PlanOpts,
 	shape *traffic.Matrix, excluded []bool) (map[[2]topo.NodeID]topo.Path, error) {
 
 	avoid := func(a topo.Arc) bool { return excluded[a.Link] }
@@ -371,28 +439,31 @@ func onDemandStress(t *topo.Topology, tables *Tables, opts PlanOpts,
 	if deltaMax > 0 {
 		sizing = shape.Scale(0.8 * deltaMax)
 	}
-	if debugOnDemand {
+	if opts.Trace != nil {
 		nex := 0
 		for _, x := range excluded {
 			if x {
 				nex++
 			}
 		}
-		fmt.Printf("[core] onDemandStress: excluded=%d deltaMax=%.3g total=%.3g\n",
+		fmt.Fprintf(opts.Trace, "[core] onDemandStress: excluded=%d deltaMax=%.3g total=%.3g\n",
 			nex, deltaMax, sizing.Total())
 	}
 	low := sizing.Demands()
-	_, routing, err := mcf.OptimalSubset(t, low, opts.Model, mcf.OptimalOpts{
+	_, routing, err := mcf.OptimalSubsetContext(ctx, t, low, opts.Model, mcf.OptimalOpts{
 		RandomRestarts: opts.RandomRestarts,
 		Seed:           opts.Seed + 1,
 		KeepOn:         tables.AlwaysOnSet,
 		Route:          mcf.RouteOpts{MaxUtil: opts.MaxUtil, Avoid: avoid},
 	})
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
 		// ExcludableStressed keeps the graph connected, so this only
 		// triggers on pathological inputs; retry without exclusion
 		// rather than failing the whole plan.
-		_, routing, err = mcf.OptimalSubset(t, low, opts.Model, mcf.OptimalOpts{
+		_, routing, err = mcf.OptimalSubsetContext(ctx, t, low, opts.Model, mcf.OptimalOpts{
 			RandomRestarts: opts.RandomRestarts,
 			Seed:           opts.Seed + 1,
 			KeepOn:         tables.AlwaysOnSet,
@@ -406,7 +477,7 @@ func onDemandStress(t *topo.Topology, tables *Tables, opts PlanOpts,
 }
 
 // onDemandSolver carries always-on X/Y fixed and solves with d_peak.
-func onDemandSolver(t *topo.Topology, tables *Tables, opts PlanOpts,
+func onDemandSolver(ctx context.Context, t *topo.Topology, tables *Tables, opts PlanOpts,
 	excluded []bool, round int) (map[[2]topo.NodeID]topo.Path, error) {
 
 	demands := opts.PeakTM.Demands()
@@ -414,7 +485,7 @@ func onDemandSolver(t *topo.Topology, tables *Tables, opts PlanOpts,
 	if round > 0 { // diversify later tables away from stressed links
 		avoid = func(a topo.Arc) bool { return excluded[a.Link] }
 	}
-	_, routing, err := mcf.OptimalSubset(t, demands, opts.Model, mcf.OptimalOpts{
+	_, routing, err := mcf.OptimalSubsetContext(ctx, t, demands, opts.Model, mcf.OptimalOpts{
 		RandomRestarts: opts.RandomRestarts,
 		Seed:           opts.Seed + int64(round)*13,
 		KeepOn:         tables.AlwaysOnSet,
@@ -550,5 +621,3 @@ func incrementalPathWatts(t *topo.Topology, m power.Model, active *topo.ActiveSe
 	return w
 }
 
-// SetDebug toggles planner tracing (debug builds only).
-func SetDebug(v bool) { debugOnDemand = v }

@@ -236,7 +236,11 @@ func RunStressSweep(fractions []float64) (StressSweep, error) {
 	maxScale := mcf.MaxFeasibleScale(g, base, mcf.RouteOpts{}, 0.02)
 	out := StressSweep{Fractions: fractions}
 	for _, frac := range fractions {
-		tables, err := core.Plan(g, core.PlanOpts{Model: model, StressExclude: frac})
+		se := frac
+		if se == 0 {
+			se = -1 // the sweep's 0-point means "no exclusion", not the 0.2 default
+		}
+		tables, err := core.Plan(g, core.PlanOpts{Model: model, StressExclude: se})
 		if err != nil {
 			return StressSweep{}, err
 		}

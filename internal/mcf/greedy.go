@@ -1,6 +1,7 @@
 package mcf
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -69,15 +70,17 @@ type GreedyOpts struct {
 // routing found on it.
 func GreedyMinSubset(t *topo.Topology, demands []traffic.Demand, m power.Model,
 	opts GreedyOpts) (*topo.ActiveSet, *Routing, error) {
-	return greedyMinSubset(t, sortDemands(demands), m, opts, spf.NewWorkspace(), nil)
+	return greedyMinSubset(context.Background(), t, sortDemands(demands), m, opts,
+		spf.NewWorkspace(), nil)
 }
 
 // greedyMinSubset is GreedyMinSubset over pre-sorted demands and an
 // explicit workspace, shared by the parallel restarts of OptimalSubset.
 // baseline, when non-nil, is the full-network routing of the demands
 // (identical for every restart, so OptimalSubset solves it once); the
-// run takes a private copy before mutating it.
-func greedyMinSubset(t *topo.Topology, sorted []traffic.Demand, m power.Model,
+// run takes a private copy before mutating it. A canceled ctx aborts
+// between candidate trials with ctx.Err().
+func greedyMinSubset(ctx context.Context, t *topo.Topology, sorted []traffic.Demand, m power.Model,
 	opts GreedyOpts, ws *spf.Workspace, baseline *Routing) (*topo.ActiveSet, *Routing, error) {
 
 	active := topo.AllOn(t)
@@ -163,6 +166,9 @@ func greedyMinSubset(t *topo.Topology, sorted []traffic.Demand, m power.Model,
 	fresh := true
 
 	for _, c := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		trial := active.Clone()
 		if c.isRouter {
 			if !trial.Router[c.router] {
@@ -435,7 +441,8 @@ func trimIdle(t *topo.Topology, active *topo.ActiveSet, r *Routing, keep *topo.A
 // OptimalOpts parameterizes the multi-restart "optimal" stand-in.
 type OptimalOpts struct {
 	// RandomRestarts adds this many random-order greedy runs to the
-	// deterministic orderings (default 4).
+	// deterministic orderings (default 4; a negative value runs only
+	// the deterministic orderings).
 	RandomRestarts int
 	Seed           int64
 	KeepOn         *topo.ActiveSet
@@ -459,6 +466,16 @@ type OptimalOpts struct {
 // result is identical regardless of GOMAXPROCS or scheduling.
 func OptimalSubset(t *topo.Topology, demands []traffic.Demand, m power.Model,
 	opts OptimalOpts) (*topo.ActiveSet, *Routing, error) {
+	return OptimalSubsetContext(context.Background(), t, demands, m, opts)
+}
+
+// OptimalSubsetContext is OptimalSubset with cancellation. The restart
+// dispatch selects on ctx.Done, every in-flight greedy run aborts
+// between candidate trials, and cancellation always returns the same
+// error — ctx.Err() — regardless of which run observed it first, so the
+// early return is deterministic. No worker goroutine outlives the call.
+func OptimalSubsetContext(ctx context.Context, t *topo.Topology, demands []traffic.Demand,
+	m power.Model, opts OptimalOpts) (*topo.ActiveSet, *Routing, error) {
 
 	if opts.RandomRestarts == 0 {
 		opts.RandomRestarts = 4
@@ -485,6 +502,9 @@ func OptimalSubset(t *topo.Topology, demands []traffic.Demand, m power.Model,
 	ro := opts.Route
 	ro.defaults()
 	ro.Active = topo.AllOn(t)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("mcf: optimal subset: %w", err)
+	}
 	baseline, err := routeDemandsSorted(t, sorted, ro, spf.NewWorkspace())
 	if err != nil {
 		return nil, nil, err
@@ -497,7 +517,7 @@ func OptimalSubset(t *topo.Topology, demands []traffic.Demand, m power.Model,
 	}
 	results := make([]result, len(runs))
 	runOne := func(i int) {
-		a, r, err := greedyMinSubset(t, sorted, m, runs[i], spf.NewWorkspace(), baseline)
+		a, r, err := greedyMinSubset(ctx, t, sorted, m, runs[i], spf.NewWorkspace(), baseline)
 		if err != nil {
 			results[i].err = err
 			return
@@ -506,6 +526,9 @@ func OptimalSubset(t *topo.Topology, demands []traffic.Demand, m power.Model,
 	}
 	if workers := min(runtime.GOMAXPROCS(0), len(runs)); workers <= 1 {
 		for i := range runs {
+			if ctx.Err() != nil {
+				break
+			}
 			runOne(i)
 		}
 	} else {
@@ -520,11 +543,23 @@ func OptimalSubset(t *topo.Topology, demands []traffic.Demand, m power.Model,
 				}
 			}()
 		}
+	dispatch:
 		for i := range runs {
-			next <- i
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				break dispatch
+			}
 		}
 		close(next)
 		wg.Wait()
+	}
+
+	// Deterministic early return on cancellation: whatever subset of
+	// runs completed (or aborted mid-loop), the caller always sees the
+	// context's own error.
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("mcf: optimal subset: %w", err)
 	}
 
 	// Deterministic selection: first error in run order aborts (as the

@@ -14,7 +14,10 @@
 package topo
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"math"
 	"sort"
 )
@@ -425,6 +428,35 @@ func (t *Topology) MaxRTT() float64 {
 		}
 	}
 	return worst
+}
+
+// Fingerprint hashes the full structure of the topology — its name,
+// every node (name, kind) and every arc (endpoints, link pairing,
+// capacity, latency) — into a stable 64-bit value. Plan artifacts embed
+// it so a precomputed routing table can only be installed against the
+// topology it was computed for.
+func (t *Topology) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.BigEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	io.WriteString(h, t.Name)
+	u64(uint64(len(t.nodes)))
+	for _, n := range t.nodes {
+		io.WriteString(h, n.Name)
+		h.Write([]byte{byte(n.Kind)})
+	}
+	u64(uint64(len(t.arcs)))
+	for _, a := range t.arcs {
+		u64(uint64(a.From))
+		u64(uint64(a.To))
+		u64(uint64(a.Link))
+		u64(math.Float64bits(a.Capacity))
+		u64(math.Float64bits(a.Latency))
+	}
+	return h.Sum64()
 }
 
 // String summarizes the topology.

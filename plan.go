@@ -1,0 +1,68 @@
+package response
+
+import (
+	"response/internal/core"
+	"response/internal/topo"
+)
+
+// A Plan is the product of the off-line REsPoNse computation: the
+// installed always-on, on-demand and failover routing tables of one
+// topology. A plan is computed once, survives process boundaries
+// through WriteTo/ReadPlanFrom, and is never recomputed online — the
+// paper's deployment model (§4.5).
+//
+// A Plan is immutable after creation and safe for concurrent use.
+type Plan struct {
+	topo   *topo.Topology
+	tables *core.Tables
+}
+
+// Topology returns the topology the plan was computed for.
+func (p *Plan) Topology() *Topology { return p.topo }
+
+// Tables exposes the raw installed routing state for advanced callers
+// (the experiment harness consumes plans this way).
+func (p *Plan) Tables() *Tables { return p.tables }
+
+// Variant labels how the tables were computed, using the paper's figure
+// labels ("REsPoNse", "REsPoNse-lat", ...).
+func (p *Plan) Variant() string { return p.tables.Variant }
+
+// Pairs returns every origin-destination pair with installed paths, in
+// deterministic order.
+func (p *Plan) Pairs() [][2]NodeID { return p.tables.PairKeys() }
+
+// PathSet returns the installed paths of (o,d).
+func (p *Plan) PathSet(o, d NodeID) (*PathSet, bool) { return p.tables.PathSetFor(o, d) }
+
+// Path returns the level-th installed path of (o,d); out-of-range
+// levels clamp to the failover path.
+func (p *Plan) Path(o, d NodeID, level PathLevel) Path { return p.tables.Path(o, d, level) }
+
+// AlwaysOnSet returns the set of elements on some always-on path; these
+// are never put to sleep.
+func (p *Plan) AlwaysOnSet() *ActiveSet { return p.tables.AlwaysOnSet }
+
+// TunnelCount returns the total number of installed paths — the
+// quantity the paper's deployment discussion compares against router
+// tunnel limits (§4.5).
+func (p *Plan) TunnelCount() int { return p.tables.TunnelCount() }
+
+// MaxTunnelsPerNode returns the largest number of installed paths
+// originating at any single node.
+func (p *Plan) MaxTunnelsPerNode() int { return p.tables.MaxTunnelsPerNode() }
+
+// Fingerprint hashes the complete content of the installed tables into
+// a stable 64-bit value. Two plans with equal fingerprints install
+// identical paths and an identical always-on element set; artifacts
+// embed it as an end-to-end integrity check.
+func (p *Plan) Fingerprint() uint64 { return p.tables.Fingerprint() }
+
+// Evaluate places a traffic matrix onto the installed tables the way
+// the online controller does at steady state: each demand aggregates
+// onto its always-on path while the utilization ceiling maxUtil holds
+// and overflows the excess to successive levels. It reports the
+// resulting power, routing and per-level usage.
+func (p *Plan) Evaluate(m *TrafficMatrix, model PowerModel, maxUtil float64) EvalResult {
+	return p.tables.Evaluate(m, model, maxUtil)
+}

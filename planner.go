@@ -1,0 +1,151 @@
+package response
+
+import (
+	"context"
+	"io"
+
+	"response/internal/core"
+	"response/internal/mcf"
+	"response/internal/power"
+)
+
+// An Option configures a Planner (or a single Plan call). The zero
+// configuration plans N=3 paths per pair in ModeStress with the
+// Cisco12000 power model — the paper's ISP defaults.
+type Option func(*config)
+
+type config struct {
+	core core.PlanOpts
+}
+
+// WithPaths sets N, the number of energy-critical paths installed per
+// origin-destination pair: one always-on, N-2 on-demand, one failover.
+// The paper finds N=3 suffices on GÉANT and N=5 on a fat-tree (§3.3).
+func WithPaths(n int) Option { return func(c *config) { c.core.N = n } }
+
+// WithMode selects how on-demand paths are computed (default ModeStress).
+func WithMode(m Mode) Option { return func(c *config) { c.core.Mode = m } }
+
+// WithStressFactor sets the fraction of top-stressed links excluded per
+// on-demand round (default 0.2, the paper's §4.2 sensitivity choice).
+// f <= 0 disables exclusion entirely rather than falling back to the
+// default.
+func WithStressFactor(f float64) Option {
+	return func(c *config) {
+		if f <= 0 {
+			f = -1 // explicit zero: no exclusion (0 would mean "default")
+		}
+		c.core.StressExclude = f
+	}
+}
+
+// WithRestarts sets the number of random restarts of the optimal-subset
+// search on top of the deterministic orderings (default 4); n <= 0 runs
+// only the deterministic orderings. Restarts run concurrently; results
+// are independent of GOMAXPROCS.
+func WithRestarts(n int) Option {
+	return func(c *config) {
+		if n <= 0 {
+			n = -1 // explicit zero: no random restarts (0 would mean "default")
+		}
+		c.core.RandomRestarts = n
+	}
+}
+
+// WithProgress registers a callback invoked at every stage boundary of
+// the plan. It runs on the planning goroutine and must return quickly.
+func WithProgress(fn func(PlanProgress)) Option {
+	return func(c *config) { c.core.Progress = fn }
+}
+
+// WithTrace directs human-readable planner tracing to w.
+func WithTrace(w io.Writer) Option { return func(c *config) { c.core.Trace = w } }
+
+// WithModel sets the power model pricing network elements (default
+// Cisco12000).
+func WithModel(m PowerModel) Option { return func(c *config) { c.core.Model = m } }
+
+// WithDelayBound enables the REsPoNse-lat variant: every always-on path
+// must satisfy delay ≤ (1+beta) × the OSPF-InvCap path delay (§4.1
+// constraint 4; the paper uses beta=0.25).
+func WithDelayBound(beta float64) Option { return func(c *config) { c.core.Beta = beta } }
+
+// WithEndpoints restricts the origin-destination universe to the given
+// nodes. By default a topology's hosts (when it has any) or all
+// non-host nodes exchange traffic.
+func WithEndpoints(nodes []NodeID) Option { return func(c *config) { c.core.Nodes = nodes } }
+
+// WithLowMatrix supplies a measured off-peak matrix (d_low) in place of
+// the traffic-oblivious ε-demand for the always-on computation.
+func WithLowMatrix(m *TrafficMatrix) Option { return func(c *config) { c.core.LowTM = m } }
+
+// WithPeakMatrix supplies the peak-hour matrix (d_peak) required by
+// ModeSolver and ModeHeuristic.
+func WithPeakMatrix(m *TrafficMatrix) Option { return func(c *config) { c.core.PeakTM = m } }
+
+// WithMaxUtil sets the ISP's link-utilization ceiling (default 1.0).
+// The ceiling must be positive; u <= 0 makes Plan fail with a
+// configuration error rather than silently selecting the default.
+func WithMaxUtil(u float64) Option {
+	return func(c *config) {
+		if u <= 0 {
+			u = -1 // explicit non-positive ceiling: rejected by validation
+		}
+		c.core.MaxUtil = u
+	}
+}
+
+// WithSeed seeds the random restarts of the subset search. Plans are
+// deterministic for a fixed seed.
+func WithSeed(seed int64) Option { return func(c *config) { c.core.Seed = seed } }
+
+// A Planner precomputes REsPoNse energy-critical path tables. The zero
+// value is usable; NewPlanner bakes in a base option set that every
+// Plan call starts from.
+//
+// A Planner is stateless between calls and safe for concurrent use as
+// long as its options are (a shared WithTrace writer, for example, must
+// itself be concurrency-safe).
+type Planner struct {
+	base []Option
+}
+
+// NewPlanner returns a Planner whose Plan calls start from opts.
+func NewPlanner(opts ...Option) *Planner { return &Planner{base: opts} }
+
+// Plan precomputes the energy-critical paths of every origin-destination
+// pair of t: always-on paths via the min-power solve, N-2 on-demand
+// tables via the configured mode, and one maximally disjoint failover
+// path per pair. Per-call opts are applied after the Planner's base
+// options.
+//
+// Plan honors ctx: cancellation propagates into the optimal-subset
+// restart pool and aborts promptly with an error satisfying
+// errors.Is(err, ErrCanceled). Solver failures satisfy ErrInfeasible or
+// ErrDelayBound; invalid configurations (a non-positive WithMaxUtil,
+// WithPaths below 3, a missing peak matrix) are reported as plain
+// errors before planning starts.
+//
+// The tables are deterministic: the same topology, options and seed
+// produce bit-identical plans regardless of GOMAXPROCS.
+func (pl *Planner) Plan(ctx context.Context, t *Topology, opts ...Option) (*Plan, error) {
+	cfg := config{core: core.PlanOpts{Model: power.Cisco12000{}}}
+	for _, o := range pl.base {
+		o(&cfg)
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	tables, err := core.PlanContext(ctx, t, cfg.core)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{topo: t, tables: tables}, nil
+}
+
+// MaxRoutableScale returns (to ~2 % precision) the largest multiplier s
+// such that base scaled by s still routes on the full topology. Use it
+// to anchor synthetic traffic at a realistic operating point.
+func MaxRoutableScale(t *Topology, base *TrafficMatrix) float64 {
+	return mcf.MaxFeasibleScale(t, base, mcf.RouteOpts{}, 0.02)
+}

@@ -1,0 +1,52 @@
+// Package simulate is the public dynamic-experiment surface of the
+// response module: the discrete-event fluid simulator (link sleep/wake,
+// failures, flow rate allocation) and the REsPoNseTE online controller
+// that shifts traffic among a plan's installed paths.
+//
+// It is a thin re-export layer over the module's internal simulator;
+// paths come straight from a response.Plan's path sets.
+package simulate
+
+import (
+	"response/internal/sim"
+	"response/internal/te"
+	"response/topology"
+)
+
+// Simulator types.
+type (
+	// Simulator is the discrete-event fluid network simulator.
+	Simulator = sim.Simulator
+	// Opts parameterizes a simulation (wake/sleep delays, failure
+	// detection, power model, pinned-on elements).
+	Opts = sim.Opts
+	// Flow is one origin-destination demand spread over installed paths.
+	Flow = sim.Flow
+	// Sample is one timestamped rate observation of a flow.
+	Sample = sim.Sample
+	// LinkPhase is a link's power/forwarding state.
+	LinkPhase = sim.LinkPhase
+	// Controller is the REsPoNseTE online traffic-engineering agent.
+	Controller = te.Controller
+	// ControllerOpts parameterizes a Controller (threshold, damping,
+	// probe period).
+	ControllerOpts = te.Opts
+)
+
+// Link power states.
+const (
+	LinkActive   = sim.LinkActive
+	LinkSleeping = sim.LinkSleeping
+	LinkWaking   = sim.LinkWaking
+	LinkFailed   = sim.LinkFailed
+)
+
+// New returns a simulator over t.
+func New(t *topology.Topology, opts Opts) *Simulator { return sim.New(t, opts) }
+
+// NewController builds a REsPoNseTE controller over a simulator;
+// register flows with Controller.Manage and begin probing with
+// Controller.Start.
+func NewController(s *Simulator, opts ControllerOpts) *Controller {
+	return te.NewController(s, opts)
+}

@@ -1,0 +1,87 @@
+package response
+
+import (
+	"response/internal/core"
+	"response/internal/power"
+	"response/internal/topo"
+	"response/internal/traffic"
+)
+
+// The facade re-exports the module's working vocabulary as type aliases
+// so that values flow freely between the public packages (response,
+// response/topology, response/trafficmatrix, response/simulate) and no
+// caller ever needs an internal import path.
+type (
+	// Topology is a network graph; build one with the constructors in
+	// response/topology.
+	Topology = topo.Topology
+	// NodeID identifies a node within a Topology.
+	NodeID = topo.NodeID
+	// ArcID identifies a directed arc within a Topology.
+	ArcID = topo.ArcID
+	// LinkID identifies an undirected physical link.
+	LinkID = topo.LinkID
+	// Path is a loop-free arc sequence between two nodes.
+	Path = topo.Path
+	// ActiveSet records the power state of every router and link.
+	ActiveSet = topo.ActiveSet
+	// PathSet holds the installed energy-critical paths of one
+	// origin-destination pair: always-on, on-demand levels, failover.
+	PathSet = core.PathSet
+	// PathLevel indexes the installed tables of one pair.
+	PathLevel = core.PathLevel
+	// Tables is the raw installed routing state a Plan wraps; advanced
+	// callers can reach it through Plan.Tables.
+	Tables = core.Tables
+	// EvalResult is the outcome of placing one traffic matrix onto a
+	// plan's tables the way the online controller would.
+	EvalResult = core.EvalResult
+	// TrafficMatrix gives per-(origin,destination) demand rates; build
+	// one with response/trafficmatrix.
+	TrafficMatrix = traffic.Matrix
+	// PowerModel prices chassis, ports and amplifiers.
+	PowerModel = power.Model
+	// Mode selects how on-demand paths are computed (§4.2 of the paper).
+	Mode = core.Mode
+	// PlanProgress is delivered to WithProgress callbacks at every stage
+	// boundary of a planning run.
+	PlanProgress = core.PlanProgress
+)
+
+// On-demand computation modes.
+const (
+	// ModeStress avoids the top-stressed fraction of links from the
+	// always-on assignment (the paper's default, demand-oblivious).
+	ModeStress = core.ModeStress
+	// ModeSolver re-solves with the peak-hour matrix, always-on fixed.
+	ModeSolver = core.ModeSolver
+	// ModeOSPF installs the default OSPF-InvCap routing table.
+	ModeOSPF = core.ModeOSPF
+	// ModeHeuristic uses the GreenTE-style k-shortest-path packer.
+	ModeHeuristic = core.ModeHeuristic
+)
+
+// Power models (paper §5.1).
+type (
+	// Cisco12000 prices elements like a Cisco 12000-series ISP router.
+	Cisco12000 = power.Cisco12000
+	// AlternativePower derates the chassis share of a base model 10×,
+	// the paper's "alternative hardware" projection.
+	AlternativePower = power.Alternative
+	// CommodityPower models commodity datacenter switches; build with
+	// NewCommodityPower.
+	CommodityPower = power.Commodity
+)
+
+// NewCommodityPower returns the commodity-switch power model for a
+// k-ary fat-tree.
+func NewCommodityPower(k int) CommodityPower { return power.NewCommodity(k) }
+
+// FullWatts returns the network's power draw with every element on.
+func FullWatts(t *Topology, m PowerModel) float64 { return power.FullWatts(t, m) }
+
+// NetworkWatts returns the network's power draw under the given element
+// power states.
+func NetworkWatts(t *Topology, m PowerModel, active *ActiveSet) float64 {
+	return power.NetworkWatts(t, m, active)
+}
