@@ -1,7 +1,7 @@
 package response_test
 
 // Benchmark harness: one benchmark per figure/table of the paper's
-// evaluation (see DESIGN.md §4 for the experiment index; the expected
+// evaluation (see DESIGN.md §5 for the experiment index; the expected
 // paper values are quoted in each benchmark's comment).
 //
 // Each benchmark regenerates its figure end-to-end per iteration and

@@ -1,11 +1,15 @@
 // Command response-sim runs the paper's dynamic experiments in the
 // event-driven simulator: Figure 4 (fat-tree sine wave), Figure 7
 // (Click-testbed failover), Figures 8a/8b (ns-2-style adaptation) and
-// Figure 9 (streaming application impact), plus the web workload table.
+// Figure 9 (streaming application impact), plus the web workload table
+// and the large-scale online scenarios (diurnal replay, flash crowd,
+// failure storm, rolling repair).
 //
 // Usage:
 //
 //	response-sim -fig 4|7|8a|8b|9|web|all
+//	response-sim -scenario diurnal|flash|storm|repair|click \
+//	             [-flows N] [-seed S] [-duration SECONDS] [-full] [-power]
 package main
 
 import (
@@ -13,13 +17,28 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"response/experiments"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "experiment: 4, 7, 8a, 8b, 9, web or all")
+	scen := flag.String("scenario", "", "online scenario: "+
+		strings.Join(experiments.OnlineScenarios(), ", "))
+	flows := flag.Int("flows", 10000, "managed flows for -scenario runs")
+	seed := flag.Int64("seed", 1, "scenario seed (identical seed ⇒ identical result)")
+	duration := flag.Float64("duration", 6*3600, "simulated seconds for -scenario runs")
+	full := flag.Bool("full", false, "use the global reference allocator (cross-check mode)")
+	meter := flag.Bool("power", false, "meter power during the scenario")
 	flag.Parse()
+
+	if *scen != "" {
+		res, err := experiments.RunOnline(*scen, *flows, *seed, *duration, *full, *meter)
+		fail(err)
+		res.Print(os.Stdout)
+		return
+	}
 
 	run := func(name string) {
 		switch name {

@@ -41,9 +41,23 @@ type (
 	AlwaysOnShare = iexp.AlwaysOnShare
 	// StressSweep is the §4.2 stress-exclusion sensitivity sweep.
 	StressSweep = iexp.StressSweep
+	// Online is a large-scale online-runtime scenario result (counters,
+	// behavioral fingerprint, delivered fraction).
+	Online = iexp.Online
 	// Point is one (x, y) sample of a result curve.
 	Point = stats.Point
 )
+
+// OnlineScenarios lists the runnable online scenario names.
+func OnlineScenarios() []string { return iexp.OnlineScenarios() }
+
+// RunOnline executes a named online-runtime scenario (diurnal replay,
+// flash crowd, failure storm, rolling repair, click failover) with the
+// given managed-flow count, seed and simulated duration. Deterministic
+// under identical arguments.
+func RunOnline(name string, flows int, seed int64, durationSec float64, fullAlloc, meterPower bool) (Online, error) {
+	return iexp.RunOnline(name, flows, seed, durationSec, fullAlloc, meterPower)
+}
 
 // RunFig1a regenerates Figure 1a over a trace of the given length.
 func RunFig1a(days int) Fig1a { return iexp.RunFig1a(days) }

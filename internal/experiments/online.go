@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"response/internal/scenario"
+)
+
+// Online is the result of a large-scale online-runtime scenario: the
+// controller's action counters, behavioral fingerprint and delivery
+// fraction. It has a Print method like every other experiment result.
+type Online = scenario.Result
+
+// OnlineScenarios lists the runnable online scenario names: "diurnal"
+// (GÉANT diurnal replay), "flash" (flash crowd), "storm" (correlated
+// failure storm), "repair" (storm followed by rolling repair) and
+// "click" (the §5.3 Click-testbed failover at its original scale).
+func OnlineScenarios() []string { return scenario.Names() }
+
+// RunOnline executes a named online scenario with the given managed
+// flow count, seed and simulated duration. fullAlloc switches the
+// simulator to the global reference allocator (cross-checking);
+// meterPower enables the power meter. Identical arguments produce an
+// identical Result, including the fingerprint.
+func RunOnline(name string, flows int, seed int64, durationSec float64, fullAlloc, meterPower bool) (Online, error) {
+	return scenario.Run(name, scenario.Config{
+		Seed:         seed,
+		Flows:        flows,
+		Duration:     durationSec,
+		FullAllocate: fullAlloc,
+		Power:        meterPower,
+	})
+}

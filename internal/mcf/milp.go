@@ -19,7 +19,7 @@ import (
 //	     X_i ≤ Σ_{l ∋ i} Y_l                (constraint 3)
 //
 // with X, Y and f binary. It is tractable only at Figure 3 scale and
-// exists to certify the heuristics (see DESIGN.md §3).
+// exists to certify the heuristics (see DESIGN.md §2).
 type MILP struct {
 	Problem *lp.Problem
 	X       map[topo.NodeID]lp.VarID

@@ -1,0 +1,479 @@
+// Package scenario is the online runtime's workload catalog: named,
+// seed-deterministic large-scale scenarios (diurnal replay, flash
+// crowd, correlated failure storm, rolling repair, the Click failover)
+// that drive the fluid simulator and the REsPoNseTE controller with up
+// to hundreds of thousands of managed flows.
+//
+// Each scenario returns a Result carrying the controller's action
+// counters and behavioral fingerprint, so runs can be compared across
+// machines, allocator modes (incremental vs. FullAllocate) and code
+// revisions — the online analog of the planner's pinned plan
+// fingerprints.
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+
+	"response/internal/core"
+	"response/internal/mcf"
+	"response/internal/power"
+	"response/internal/sim"
+	"response/internal/te"
+	"response/internal/topo"
+	"response/internal/traffic"
+)
+
+// Config parameterizes a scenario. The zero value plus a name gives a
+// small smoke-scale run; presets fill scenario-specific fields.
+type Config struct {
+	// Seed drives every random choice (endpoint subset, per-flow
+	// diurnal phase, flash-crowd membership, storm link selection).
+	// Identical Config ⇒ identical Result, including the fingerprint.
+	Seed int64
+	// Flows is the number of managed flows (default 1000), spread
+	// across the planned origin–destination pairs.
+	Flows int
+	// Duration is the simulated time in seconds (default 6 h).
+	Duration float64
+	// StepSec is the demand-update interval (default 900 s, the
+	// 15-minute granularity of the GÉANT traces).
+	StepSec float64
+	// PeakUtil scales the aggregate diurnal peak to this fraction of
+	// the maximum feasible load (default 0.6: peaks cross the
+	// activation threshold on the hot links without drowning the whole
+	// network; push it toward 1 for a saturation stress test).
+	PeakUtil float64
+
+	// Flash crowd: at FlashAt, the demand of FlashFraction of the
+	// flows multiplies by FlashFactor for FlashDuration seconds.
+	FlashAt       float64
+	FlashDuration float64
+	FlashFactor   float64
+	FlashFraction float64
+
+	// Failure storm: at StormAt, StormLinks randomly chosen links fail
+	// together. When RepairEvery > 0, repairs roll out one link every
+	// RepairEvery seconds starting RepairAfter seconds after the storm.
+	StormAt     float64
+	StormLinks  int
+	RepairAfter float64
+	RepairEvery float64
+
+	// Period is the controller probe period (default 60 s — at replay
+	// scale, probing at the paper's max-RTT period would dominate the
+	// event stream without changing the outcome).
+	Period float64
+	// FullAllocate runs the simulator's global reference allocator
+	// instead of the incremental one (cross-checking).
+	FullAllocate bool
+	// Power meters energy with the Cisco12000 model (off by default at
+	// scale: metering walks every link per settle).
+	Power bool
+}
+
+func (c *Config) defaults() {
+	if c.Flows == 0 {
+		c.Flows = 1000
+	}
+	if c.Duration == 0 {
+		c.Duration = 6 * 3600
+	}
+	if c.StepSec == 0 {
+		c.StepSec = 900
+	}
+	if c.PeakUtil == 0 {
+		c.PeakUtil = 0.6
+	}
+	if c.Period == 0 {
+		c.Period = 60
+	}
+}
+
+// Result summarizes a scenario run.
+type Result struct {
+	Name         string
+	Flows        int
+	SimulatedSec float64
+
+	// Controller action counters and behavioral fingerprint.
+	Decisions   int
+	Shifts      int
+	Wakes       int
+	Fingerprint uint64
+
+	// MaxUtil is the worst arc utilization observed at any demand step.
+	MaxUtil float64
+	// DeliveredBytes / OfferedBytes measure how much of the offered
+	// load the runtime carried.
+	DeliveredBytes float64
+	OfferedBytes   float64
+	// AvgPowerPct is the mean metered power (0 without Config.Power).
+	AvgPowerPct float64
+
+	Failed   int
+	Repaired int
+}
+
+// DeliveredFrac is delivered/offered (1 when nothing was offered).
+func (r Result) DeliveredFrac() float64 {
+	if r.OfferedBytes <= 0 {
+		return 1
+	}
+	return r.DeliveredBytes / r.OfferedBytes
+}
+
+// Print writes the result as a small table.
+func (r Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Scenario %s — %d flows over %.0f s simulated\n", r.Name, r.Flows, r.SimulatedSec)
+	fmt.Fprintf(w, "  decisions %d, shifts %d, wakes %d\n", r.Decisions, r.Shifts, r.Wakes)
+	fmt.Fprintf(w, "  delivered %.1f%% of offered load, max arc util %.2f\n",
+		100*r.DeliveredFrac(), r.MaxUtil)
+	if r.Failed > 0 || r.Repaired > 0 {
+		fmt.Fprintf(w, "  links failed %d, repaired %d\n", r.Failed, r.Repaired)
+	}
+	if r.AvgPowerPct > 0 {
+		fmt.Fprintf(w, "  mean power %.1f%% of all-on\n", r.AvgPowerPct)
+	}
+	fmt.Fprintf(w, "  fingerprint %016x\n", r.Fingerprint)
+}
+
+// Names lists the runnable scenario presets.
+func Names() []string { return []string{"diurnal", "flash", "storm", "repair", "click"} }
+
+// Run executes a named scenario preset.
+func Run(name string, cfg Config) (Result, error) {
+	cfg.defaults()
+	switch name {
+	case "diurnal":
+	case "flash":
+		if cfg.FlashFactor == 0 {
+			cfg.FlashFactor = 3
+		}
+		if cfg.FlashFraction == 0 {
+			cfg.FlashFraction = 0.1
+		}
+		if cfg.FlashAt == 0 {
+			cfg.FlashAt = cfg.Duration / 3
+		}
+		if cfg.FlashDuration == 0 {
+			cfg.FlashDuration = cfg.Duration / 6
+		}
+	case "storm":
+		if cfg.StormLinks == 0 {
+			cfg.StormLinks = 5
+		}
+		if cfg.StormAt == 0 {
+			cfg.StormAt = cfg.Duration / 3
+		}
+	case "repair":
+		if cfg.StormLinks == 0 {
+			cfg.StormLinks = 5
+		}
+		if cfg.StormAt == 0 {
+			cfg.StormAt = cfg.Duration / 3
+		}
+		if cfg.RepairEvery == 0 {
+			cfg.RepairEvery = cfg.StepSec / 2
+		}
+		if cfg.RepairAfter == 0 {
+			cfg.RepairAfter = cfg.StepSec
+		}
+	case "click":
+		return ClickFailover(cfg)
+	default:
+		return Result{}, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, Names())
+	}
+	r, err := NewGeantDiurnal(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	r.Advance(cfg.Duration)
+	res := r.Finish()
+	res.Name = name
+	return res, nil
+}
+
+// Replay is a running scenario: a planned topology, a populated
+// simulator/controller pair and the demand program driving them.
+// Benchmarks Advance it window by window; Run drives it end to end.
+type Replay struct {
+	Topo *topo.Topology
+	Sim  *sim.Simulator
+	Ctrl *te.Controller
+
+	cfg   Config
+	flows []*sim.Flow
+	base  []float64 // per-flow peak demand
+	phase []float64 // per-flow diurnal phase jitter
+	flash []bool    // flash-crowd membership
+
+	stormOrder []topo.LinkID
+	stormDone  bool
+
+	offered     float64
+	offeredRate float64 // current aggregate demand, for offered integration
+	lastCharge  float64
+	maxUtil     float64
+	failed      int
+	repaired    int
+	start       float64
+	nextStep    float64
+}
+
+// NewGeantDiurnal plans the GÉANT topology and installs cfg.Flows
+// managed flows over the planned path levels, each with a
+// phase-jittered diurnal demand. Nothing runs until Advance.
+func NewGeantDiurnal(cfg Config) (*Replay, error) {
+	cfg.defaults()
+	g := topo.NewGeant()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Endpoint subset (§5.1): deterministic random 70% of the PoPs.
+	all := core.DefaultEndpoints(g)
+	n := int(float64(len(all))*0.7 + 0.5)
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	endpoints := append([]topo.NodeID(nil), all[:n]...)
+	sort.Slice(endpoints, func(i, j int) bool { return endpoints[i] < endpoints[j] })
+
+	model := power.Cisco12000{}
+	base := traffic.Gravity(g, traffic.GravityOpts{Nodes: endpoints, TotalRate: 1})
+	maxScale := mcf.MaxFeasibleScale(g, base, mcf.RouteOpts{}, 0.05)
+	peak := base.Scale(maxScale * cfg.PeakUtil)
+	tables, err := core.Plan(g, core.PlanOpts{Model: model, Nodes: endpoints})
+	if err != nil {
+		return nil, fmt.Errorf("scenario: plan: %w", err)
+	}
+
+	simOpts := sim.Opts{
+		WakeUpDelay:    5, // §5.3's upper bound for existing ISP hardware
+		SleepAfterIdle: 60,
+		PinnedOn:       tables.AlwaysOnSet,
+		FullAllocate:   cfg.FullAllocate,
+	}
+	if cfg.Power {
+		simOpts.Model = model
+	}
+	s := sim.New(g, simOpts)
+	ctrl := te.NewController(s, te.Opts{Threshold: 0.9, Gamma: 0.5, Period: cfg.Period})
+
+	r := &Replay{Topo: g, Sim: s, Ctrl: ctrl, cfg: cfg}
+	demands := peak.Demands()
+	type pair struct {
+		o, d  topo.NodeID
+		rate  float64
+		paths []topo.Path
+	}
+	var pairs []pair
+	for _, d := range demands {
+		ps, ok := tables.PathSetFor(d.O, d.D)
+		if !ok {
+			continue
+		}
+		pairs = append(pairs, pair{d.O, d.D, d.Rate, ps.Levels()})
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("scenario: no routable pairs")
+	}
+	perPair := cfg.Flows / len(pairs)
+	extra := cfg.Flows % len(pairs)
+	for i, p := range pairs {
+		k := perPair
+		if i < extra {
+			k++
+		}
+		if k == 0 {
+			continue
+		}
+		each := p.rate / float64(k)
+		for j := 0; j < k; j++ {
+			f, err := s.AddFlow(p.o, p.d, 0, p.paths)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: flow %d->%d: %w", p.o, p.d, err)
+			}
+			ctrl.Manage(f)
+			r.flows = append(r.flows, f)
+			r.base = append(r.base, each)
+			r.phase = append(r.phase, rng.Float64()*2*math.Pi)
+			r.flash = append(r.flash, rng.Float64() < cfg.FlashFraction)
+		}
+	}
+	// Storm link order, chosen up front so repair order is pinned too.
+	if cfg.StormLinks > 0 {
+		perm := rng.Perm(g.NumLinks())
+		for _, li := range perm[:min(cfg.StormLinks, g.NumLinks())] {
+			r.stormOrder = append(r.stormOrder, topo.LinkID(li))
+		}
+	}
+	r.applyDemands(0)
+	ctrl.Start()
+	return r, nil
+}
+
+// StormLinks returns the seeded storm link selection (empty unless
+// Config.StormLinks > 0); benchmarks use it to drive manual storms.
+func (r *Replay) StormLinks() []topo.LinkID { return r.stormOrder }
+
+// observeUtil folds the current settled worst arc utilization into
+// the running maximum.
+func (r *Replay) observeUtil() {
+	if u := r.Sim.MaxArcUtil(); u > r.maxUtil {
+		r.maxUtil = u
+	}
+}
+
+// demandAt evaluates flow i's offered rate at simulated time t.
+func (r *Replay) demandAt(i int, t float64) float64 {
+	// Diurnal: trough at 55%−45%, peak at 55%+45% of the flow's base,
+	// phase-jittered per flow so steps are not lockstep.
+	d := r.base[i] * (0.55 + 0.45*math.Sin(2*math.Pi*t/86400+r.phase[i]))
+	if r.flash[i] && t >= r.cfg.FlashAt && t < r.cfg.FlashAt+r.cfg.FlashDuration &&
+		r.cfg.FlashFactor > 0 {
+		d *= r.cfg.FlashFactor
+	}
+	return d
+}
+
+// applyDemands sets every flow's demand for the step at time t,
+// charging the offered-load integral for the interval just ended.
+func (r *Replay) applyDemands(t float64) {
+	r.offered += r.offeredRate * (t - r.lastCharge) / 8
+	r.lastCharge = t
+	var total float64
+	for i, f := range r.flows {
+		d := r.demandAt(i, t)
+		r.Sim.SetDemand(f, d)
+		total += d
+	}
+	r.offeredRate = total
+}
+
+// Advance runs the scenario for the given additional simulated time,
+// scheduling the demand steps and any storm/flash/repair events that
+// fall inside the window. Diurnal demand is periodic, so a Replay can
+// be advanced indefinitely (benchmarks replay extra days).
+func (r *Replay) Advance(seconds float64) {
+	end := r.start + seconds
+	if r.nextStep == 0 {
+		r.nextStep = r.cfg.StepSec
+	}
+	for ; r.nextStep <= end; r.nextStep += r.cfg.StepSec {
+		at := r.nextStep
+		r.Sim.Schedule(at, func() {
+			// Rates for the interval just ended are settled; observe
+			// them before the new demands dirty the allocation.
+			r.observeUtil()
+			r.applyDemands(at)
+		})
+	}
+	if !r.stormDone && len(r.stormOrder) > 0 && r.cfg.StormAt > 0 &&
+		r.cfg.StormAt >= r.start && r.cfg.StormAt < end {
+		r.stormDone = true
+		r.Sim.Schedule(r.cfg.StormAt, func() {
+			for _, l := range r.stormOrder {
+				r.Sim.FailLink(l)
+				r.failed++
+			}
+		})
+		if r.cfg.RepairEvery > 0 {
+			for k, l := range r.stormOrder {
+				at := r.cfg.StormAt + r.cfg.RepairAfter + float64(k)*r.cfg.RepairEvery
+				lk := l
+				r.Sim.Schedule(at, func() {
+					r.Sim.RepairLink(lk)
+					r.repaired++
+				})
+			}
+		}
+	}
+	r.Sim.Run(end)
+	r.start = end
+}
+
+// Finish closes the books and returns the Result.
+func (r *Replay) Finish() Result {
+	r.offered += r.offeredRate * (r.start - r.lastCharge) / 8
+	r.lastCharge = r.start
+	r.observeUtil() // the final interval has no closing step event
+	var delivered float64
+	for _, f := range r.flows {
+		delivered += r.Sim.Bytes(f)
+	}
+	res := Result{
+		Name:           "diurnal",
+		Flows:          len(r.flows),
+		SimulatedSec:   r.start,
+		Decisions:      r.Ctrl.Decisions,
+		Shifts:         r.Ctrl.Shifts,
+		Wakes:          r.Ctrl.Wakes,
+		Fingerprint:    r.Ctrl.Fingerprint(),
+		MaxUtil:        r.maxUtil,
+		DeliveredBytes: delivered,
+		OfferedBytes:   r.offered,
+		Failed:         r.failed,
+		Repaired:       r.repaired,
+	}
+	if m := r.Sim.Meter(); m != nil && r.start > 0 {
+		joules := m.Finish(r.start)
+		res.AvgPowerPct = 100 * joules / (m.FullWatts() * r.start)
+	}
+	return res
+}
+
+// ClickFailover is the §5.3 Click-testbed experiment as a scenario:
+// two flows on the Figure 3 topology, TE starting at t=5 s, the shared
+// middle link failing at t=5.7 s, run to t=8 s. Its scale, timing and
+// seedless determinism are pinned — it is the behavioral anchor whose
+// fingerprint tests pin — so of cfg only FullAllocate (allocator
+// cross-check mode) is honored.
+func ClickFailover(cfg Config) (Result, error) {
+	ex := topo.NewExample(topo.ExampleOpts{})
+	pinned := topo.AllOff(ex.Topology)
+	pinned.ActivatePath(ex.Topology, ex.MiddlePath(ex.A))
+	pinned.ActivatePath(ex.Topology, ex.MiddlePath(ex.C))
+	s := sim.New(ex.Topology, sim.Opts{
+		WakeUpDelay:      0.010,
+		SleepAfterIdle:   0.050,
+		FailureDetect:    0.050,
+		FailurePropagate: 0.050,
+		Model:            power.Cisco12000{},
+		PinnedOn:         pinned,
+		FullAllocate:     cfg.FullAllocate,
+	})
+	ctrl := te.NewController(s, te.Opts{Threshold: 0.9, Gamma: 0.5})
+	fa, err := s.AddFlow(ex.A, ex.K, 2.5*topo.Mbps,
+		[]topo.Path{ex.MiddlePath(ex.A), ex.UpperPath()})
+	if err != nil {
+		return Result{}, err
+	}
+	fc, err := s.AddFlow(ex.C, ex.K, 2.5*topo.Mbps,
+		[]topo.Path{ex.MiddlePath(ex.C), ex.LowerPath()})
+	if err != nil {
+		return Result{}, err
+	}
+	s.SetShare(fa, []float64{0.5, 0.5})
+	s.SetShare(fc, []float64{0.5, 0.5})
+	ctrl.Manage(fa)
+	ctrl.Manage(fc)
+	s.Schedule(5, func() { ctrl.Start() })
+	eh, _ := ex.ArcBetween(ex.E, ex.H)
+	s.Schedule(5.7, func() { s.FailLink(ex.Arc(eh).Link) })
+	s.Run(8)
+	offered := 2 * 2.5e6 / 8 * 8 // two flows, full horizon
+	return Result{
+		Name:           "click",
+		Flows:          2,
+		SimulatedSec:   8,
+		Decisions:      ctrl.Decisions,
+		Shifts:         ctrl.Shifts,
+		Wakes:          ctrl.Wakes,
+		Fingerprint:    ctrl.Fingerprint(),
+		MaxUtil:        s.MaxArcUtil(),
+		DeliveredBytes: s.Bytes(fa) + s.Bytes(fc),
+		OfferedBytes:   offered,
+		Failed:         1,
+	}, nil
+}

@@ -1,0 +1,305 @@
+package sim
+
+import (
+	"math"
+	"slices"
+
+	"response/internal/topo"
+)
+
+// allocWorkspace holds the allocator's reusable scratch state. Arrays
+// indexed by arc are sized once at New; arrays indexed by flow or
+// subflow grow with AddFlow. Epoch stamping (the spf Workspace trick)
+// makes per-allocate clearing O(component), not O(universe).
+type allocWorkspace struct {
+	epoch     uint32
+	flowSeen  []uint32 // per flow: BFS visit stamp
+	arcSeen   []uint32 // per arc: component membership stamp
+	linkSeen  []uint32 // per link: touched stamp
+	subActive []uint32 // per subflow: unfrozen stamp during the solve
+
+	queue    []int32      // BFS queue of component flow IDs
+	compArcs []topo.ArcID // component arcs
+	active   []wantSub    // unfrozen subflows, want-sorted
+	newRate  []float64    // per subflow: solved rate this solve
+	capLeft  []float64    // per arc
+	unfrozen []int32      // per arc
+	links    []topo.LinkID
+	oldLoad  []float64 // parallel to links: pre-solve carried load
+}
+
+func (w *allocWorkspace) init(t *topo.Topology) {
+	w.arcSeen = make([]uint32, t.NumArcs())
+	w.capLeft = make([]float64, t.NumArcs())
+	w.unfrozen = make([]int32, t.NumArcs())
+	w.linkSeen = make([]uint32, t.NumLinks())
+}
+
+func (w *allocWorkspace) grow(flows, subs int) {
+	for len(w.flowSeen) < flows {
+		w.flowSeen = append(w.flowSeen, 0)
+	}
+	for len(w.subActive) < subs {
+		w.subActive = append(w.subActive, 0)
+		w.newRate = append(w.newRate, 0)
+	}
+}
+
+// wantSub pairs a subflow with its offered rate for the want-sorted
+// filling pass; sorting the pair directly (rather than ids indirecting
+// into a side array) keeps the hot comparator cache-local.
+type wantSub struct {
+	want float64
+	sf   int32
+}
+
+// subArcSpan returns the arcs of one subflow's path.
+func (s *Simulator) subArcSpan(sf int32) []topo.ArcID {
+	return s.subArcs[s.subArcStart[sf]:s.subArcStart[sf+1]]
+}
+
+// subRelevant reports whether a subflow matters to the max-min solve:
+// it either carries traffic now (its capacity must be redistributed)
+// or offers traffic over a fully forwarding path.
+func (s *Simulator) subRelevant(sf int32, f *Flow, level int) bool {
+	if s.subRate[sf] > 0 {
+		return true
+	}
+	return !f.removed && f.Demand > 0 && f.Share[level] > 0 &&
+		s.subBlocked[sf] == 0 && !f.Paths[level].Empty()
+}
+
+// allocate recomputes max-min fair subflow rates for the dirty
+// component. Each (flow, path) with positive share and a fully active
+// path is a subflow demanding share×Demand; progressive filling
+// freezes the subflows of the currently most-contended arc at its fair
+// share.
+//
+// Unlike the textbook global solve, only the connected component of
+// the subflow↔arc constraint graph reachable from the dirty flows is
+// re-solved: max-min rates of disjoint components are independent, so
+// the result is exactly the global solution restricted to the affected
+// flows. Opts.FullAllocate forces the whole universe into the
+// component for cross-checking.
+func (s *Simulator) allocate() {
+	w := &s.ws
+	w.epoch++
+	epoch := w.epoch
+	w.queue = w.queue[:0]
+	w.compArcs = w.compArcs[:0]
+
+	// 1. Component discovery: BFS from the dirty flows across shared
+	// arcs, following only subflows that carry or could carry traffic.
+	if s.opts.FullAllocate {
+		for _, f := range s.flows {
+			w.flowSeen[f.ID] = epoch
+			w.queue = append(w.queue, int32(f.ID))
+		}
+	} else {
+		for _, fid := range s.dirtyFlows {
+			if w.flowSeen[fid] != epoch {
+				w.flowSeen[fid] = epoch
+				w.queue = append(w.queue, fid)
+			}
+		}
+	}
+	for head := 0; head < len(w.queue); head++ {
+		f := s.flows[w.queue[head]]
+		for i := range f.Paths {
+			sf := f.subBase + int32(i)
+			if !s.subRelevant(sf, f, i) {
+				continue
+			}
+			for _, aid := range s.subArcSpan(sf) {
+				if w.arcSeen[aid] == epoch {
+					continue
+				}
+				w.arcSeen[aid] = epoch
+				w.compArcs = append(w.compArcs, aid)
+				for _, sf2 := range s.arcSubs[aid] {
+					fid2 := s.subFlow[sf2]
+					if w.flowSeen[fid2] == epoch {
+						continue
+					}
+					f2 := s.flows[fid2]
+					if !s.subRelevant(sf2, f2, int(s.subLevel[sf2])) {
+						continue
+					}
+					w.flowSeen[fid2] = epoch
+					w.queue = append(w.queue, fid2)
+				}
+			}
+		}
+	}
+	// Deterministic order regardless of how the component was entered,
+	// so the incremental and full modes solve identical sequences.
+	slices.Sort(w.queue)
+	slices.Sort(w.compArcs)
+
+	// 2. Build the offered subflow set; wake-on-arrival for offered
+	// traffic whose path is asleep (the subflow starts once the wake
+	// completes).
+	w.active = w.active[:0]
+	for _, fid := range w.queue {
+		f := s.flows[fid]
+		s.integrate(f) // before this component's rates change
+		for i, p := range f.Paths {
+			sf := f.subBase + int32(i)
+			w.newRate[sf] = 0
+			if f.removed || p.Empty() || f.Share[i] <= 0 {
+				continue
+			}
+			want := f.Share[i] * f.Demand
+			if want <= 0 {
+				continue
+			}
+			if s.subBlocked[sf] > 0 {
+				if s.PathPhase(p) == LinkSleeping {
+					s.RequestWake(p)
+				}
+				continue
+			}
+			w.active = append(w.active, wantSub{want: want, sf: sf})
+		}
+	}
+
+	// Want-sorted active list: the demand-limited freezing pass below
+	// consumes a sorted prefix, amortizing to O(n log n) overall
+	// instead of rescanning every subflow per filling round.
+	slices.SortFunc(w.active, func(a, b wantSub) int {
+		if a.want != b.want {
+			if a.want < b.want {
+				return -1
+			}
+			return 1
+		}
+		if a.sf < b.sf {
+			return -1
+		} else if a.sf > b.sf {
+			return 1
+		}
+		return 0
+	})
+
+	// 3. Progressive filling over the component.
+	for _, aid := range w.compArcs {
+		w.capLeft[aid] = s.T.Arc(aid).Capacity
+		w.unfrozen[aid] = 0
+	}
+	for _, as := range w.active {
+		w.subActive[as.sf] = epoch
+		for _, aid := range s.subArcSpan(as.sf) {
+			w.unfrozen[aid]++
+		}
+	}
+	freeze := func(sf int32, rate float64) {
+		w.newRate[sf] = rate
+		w.subActive[sf] = 0
+		for _, aid := range s.subArcSpan(sf) {
+			w.capLeft[aid] -= rate
+			w.unfrozen[aid]--
+		}
+	}
+	remaining := len(w.active)
+	lo := 0
+	for remaining > 0 {
+		// Fair share per arc among unfrozen subflows.
+		minShare := math.Inf(1)
+		for _, aid := range w.compArcs {
+			if n := w.unfrozen[aid]; n > 0 {
+				if sh := w.capLeft[aid] / float64(n); sh < minShare {
+					minShare = sh
+				}
+			}
+		}
+		if math.IsInf(minShare, 1) {
+			break
+		}
+		// Demand-limited subflows freeze at their want.
+		progressed := false
+		for lo < len(w.active) {
+			as := w.active[lo]
+			if w.subActive[as.sf] != epoch {
+				lo++ // frozen earlier by a bottleneck arc
+				continue
+			}
+			if as.want > minShare+1e-12 {
+				break
+			}
+			freeze(as.sf, as.want)
+			lo++
+			remaining--
+			progressed = true
+		}
+		if progressed {
+			continue
+		}
+		// Otherwise freeze subflows on the bottleneck arc(s) at the
+		// fair share.
+		for _, aid := range w.compArcs {
+			n := w.unfrozen[aid]
+			if n == 0 {
+				continue
+			}
+			if w.capLeft[aid]/float64(n) <= minShare+1e-12 {
+				for _, sf := range s.arcSubs[aid] {
+					if w.subActive[sf] != epoch {
+						continue
+					}
+					freeze(sf, minShare)
+					remaining--
+				}
+			}
+		}
+	}
+
+	// 4. Write back: recompute component arc loads from scratch (no
+	// incremental drift) and detect per-link busy/idle transitions.
+	w.links = w.links[:0]
+	w.oldLoad = w.oldLoad[:0]
+	for _, aid := range w.compArcs {
+		l := s.T.Arc(aid).Link
+		if w.linkSeen[l] == epoch {
+			continue
+		}
+		w.linkSeen[l] = epoch
+		w.links = append(w.links, l)
+		w.oldLoad = append(w.oldLoad, s.LinkCarried(l))
+	}
+	for _, aid := range w.compArcs {
+		s.arcLoad[aid] = 0
+	}
+	for _, fid := range w.queue {
+		f := s.flows[fid]
+		for i := range f.Paths {
+			sf := f.subBase + int32(i)
+			r := w.newRate[sf]
+			if r < 0 {
+				r = 0
+			}
+			s.subRate[sf] = r
+			f.pathRate[i] = r
+			if r > 0 {
+				for _, aid := range s.subArcSpan(sf) {
+					s.arcLoad[aid] += r
+				}
+			}
+		}
+	}
+	for k, l := range w.links {
+		load := s.LinkCarried(l)
+		if load > 1e-9 {
+			s.lastBusy[l] = s.now
+		} else if w.oldLoad[k] > 1e-9 {
+			// Busy -> idle: start the idle timer and book the check.
+			s.lastBusy[l] = s.now
+			s.scheduleSleepCheck(l, s.now+s.opts.SleepAfterIdle)
+		}
+	}
+
+	// 5. Reset the dirty frontier.
+	for _, fid := range s.dirtyFlows {
+		s.flowDirty[fid] = false
+	}
+	s.dirtyFlows = s.dirtyFlows[:0]
+}

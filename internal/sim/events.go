@@ -1,6 +1,6 @@
 // Package sim is an event-driven fluid-flow network simulator standing
 // in for the paper's ns-2 simulations, Click testbed and ModelNet
-// emulation (§5.3–5.4; DESIGN.md §3 documents the substitution).
+// emulation (§5.3–5.4; DESIGN.md §2 documents the substitution).
 //
 // Links have capacity, propagation delay and a power state (active,
 // sleeping, waking, failed); flows are fluid and share links max-min

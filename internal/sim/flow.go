@@ -29,6 +29,11 @@ type Flow struct {
 	// workloads (streaming blocks, web transfers) read it.
 	CumulativeBytes float64
 	lastIntegrate   float64
+
+	// subBase is the first subflow slot of this flow; level i lives at
+	// subBase+i in the simulator's subflow universe.
+	subBase int32
+	removed bool
 }
 
 // Rate returns the flow's total achieved rate.
@@ -56,7 +61,11 @@ func (f *Flow) ShareOf(i int) float64 {
 	return f.Share[i]
 }
 
-// AddFlow installs a flow with all share initially on level 0.
+// Removed reports whether the flow has been withdrawn with RemoveFlow.
+func (f *Flow) Removed() bool { return f.removed }
+
+// AddFlow installs a flow with all share initially on level 0 and
+// registers its (flow, level) subflows in the link inverted index.
 func (s *Simulator) AddFlow(o, d topo.NodeID, demand float64, paths []topo.Path) (*Flow, error) {
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("sim: flow %d->%d needs at least one path", o, d)
@@ -77,22 +86,86 @@ func (s *Simulator) AddFlow(o, d topo.NodeID, demand float64, paths []topo.Path)
 		Paths:    paths,
 		Share:    make([]float64, len(paths)),
 		pathRate: make([]float64, len(paths)),
+		subBase:  int32(len(s.subFlow)),
 	}
 	f.Share[0] = 1
 	f.lastIntegrate = s.now
+	for i, p := range paths {
+		sf := int32(len(s.subFlow))
+		s.subFlow = append(s.subFlow, int32(f.ID))
+		s.subLevel = append(s.subLevel, int32(i))
+		s.subRate = append(s.subRate, 0)
+		blocked := int32(0)
+		for _, aid := range p.Arcs {
+			s.subArcs = append(s.subArcs, aid)
+			s.arcSubs[aid] = append(s.arcSubs[aid], sf)
+			if s.phase[s.T.Arc(aid).Link] != LinkActive {
+				blocked++
+			}
+		}
+		s.subBlocked = append(s.subBlocked, blocked)
+		s.subArcStart = append(s.subArcStart, int32(len(s.subArcs)))
+		s.indexLive += len(p.Arcs)
+	}
 	s.flows = append(s.flows, f)
-	s.markDirty()
+	s.flowDirty = append(s.flowDirty, false)
+	s.ws.grow(len(s.flows), len(s.subFlow))
+	s.markFlowDirty(int32(f.ID))
 	return f, nil
 }
 
-// Flows returns all installed flows.
+// RemoveFlow withdraws a flow: its offered traffic drops to zero, the
+// freed capacity is redistributed, and its recorded rate samples are
+// released. The *Flow stays readable (ID, CumulativeBytes) but is
+// skipped by sampling and probing, and its inverted-index entries are
+// compacted away once removed flows hold the majority of the index —
+// under sustained churn, index walks and memory stay proportional to
+// the live flow set. The flat subflow slots themselves are retained
+// (IDs are stable for the simulator's lifetime), costing a few dozen
+// bytes per removed level.
+func (s *Simulator) RemoveFlow(f *Flow) {
+	if f == nil || f.removed {
+		return
+	}
+	s.integrate(f)
+	f.removed = true
+	s.markFlowDirty(int32(f.ID))
+	delete(s.rateSamples, f.ID)
+	for _, p := range f.Paths {
+		s.indexLive -= len(p.Arcs)
+		s.indexDead += len(p.Arcs)
+	}
+	if s.indexDead > s.indexLive {
+		s.compactIndex()
+	}
+}
+
+// compactIndex drops removed flows' entries from the inverted index,
+// preserving the relative order of live entries (walk order is part of
+// the runtime's deterministic behavior).
+func (s *Simulator) compactIndex() {
+	for aid := range s.arcSubs {
+		list := s.arcSubs[aid]
+		kept := list[:0]
+		for _, sf := range list {
+			if !s.flows[s.subFlow[sf]].removed {
+				kept = append(kept, sf)
+			}
+		}
+		s.arcSubs[aid] = kept
+	}
+	s.indexDead = 0
+}
+
+// Flows returns all installed flows, including removed ones (check
+// Flow.Removed).
 func (s *Simulator) Flows() []*Flow { return s.flows }
 
 // SetDemand changes a flow's offered rate at the current time.
 func (s *Simulator) SetDemand(f *Flow, demand float64) {
 	s.integrate(f)
 	f.Demand = demand
-	s.markDirty()
+	s.markFlowDirty(int32(f.ID))
 }
 
 // SetShare overwrites a flow's share vector (normalizing negatives to
@@ -113,7 +186,7 @@ func (s *Simulator) SetShare(f *Flow, share []float64) {
 		}
 	}
 	copy(f.Share, share)
-	s.markDirty()
+	s.markFlowDirty(int32(f.ID))
 }
 
 // ShiftShare moves frac of the flow's total share from level `from` to
@@ -129,7 +202,7 @@ func (s *Simulator) ShiftShare(f *Flow, from, to int, frac float64) {
 	}
 	f.Share[from] -= amt
 	f.Share[to] += amt
-	s.markDirty()
+	s.markFlowDirty(int32(f.ID))
 }
 
 // Bytes returns the flow's cumulative received bytes as of now.
@@ -145,144 +218,4 @@ func (s *Simulator) integrate(f *Flow) {
 		f.CumulativeBytes += f.Rate() / 8 * dt
 	}
 	f.lastIntegrate = s.now
-}
-
-// allocate computes max-min fair subflow rates. Each (flow, path) with
-// positive share and a fully active path is a subflow demanding
-// share×Demand; progressive filling freezes the subflows of the
-// currently most-contended link at its fair share.
-func (s *Simulator) allocate() {
-	type subflow struct {
-		flow   *Flow
-		level  int
-		want   float64
-		rate   float64
-		frozen bool
-		arcs   []topo.ArcID
-	}
-	// Integrate everyone before rates change.
-	for _, f := range s.flows {
-		s.integrate(f)
-	}
-	var subs []*subflow
-	arcSubs := make(map[topo.ArcID][]*subflow)
-	for _, f := range s.flows {
-		for i := range f.pathRate {
-			f.pathRate[i] = 0
-		}
-		for i, p := range f.Paths {
-			if f.Share[i] <= 0 || p.Empty() {
-				continue
-			}
-			want := f.Share[i] * f.Demand
-			if want <= 0 {
-				continue
-			}
-			if phase := s.PathPhase(p); phase != LinkActive {
-				// Sleeping/waking/failed paths carry nothing now, but
-				// offered traffic wakes sleeping elements (wake-on-
-				// arrival): the subflow starts once the wake completes.
-				if phase == LinkSleeping {
-					s.RequestWake(p)
-				}
-				continue
-			}
-			sf := &subflow{flow: f, level: i, want: want, arcs: p.Arcs}
-			subs = append(subs, sf)
-			for _, aid := range p.Arcs {
-				arcSubs[aid] = append(arcSubs[aid], sf)
-			}
-		}
-	}
-	if len(subs) == 0 {
-		for i := range s.arcLoad {
-			s.arcLoad[i] = 0
-		}
-		return
-	}
-	capLeft := make(map[topo.ArcID]float64, len(arcSubs))
-	for aid := range arcSubs {
-		capLeft[aid] = s.T.Arc(aid).Capacity
-	}
-	remaining := len(subs)
-	for remaining > 0 {
-		// Fair share per arc among unfrozen subflows.
-		minShare := math.Inf(1)
-		for aid, list := range arcSubs {
-			n := 0
-			for _, sf := range list {
-				if !sf.frozen {
-					n++
-				}
-			}
-			if n == 0 {
-				continue
-			}
-			if sh := capLeft[aid] / float64(n); sh < minShare {
-				minShare = sh
-			}
-		}
-		if math.IsInf(minShare, 1) {
-			break
-		}
-		// Demand-limited subflows freeze at their want.
-		progressed := false
-		for _, sf := range subs {
-			if sf.frozen || sf.want > minShare+1e-12 {
-				continue
-			}
-			sf.frozen = true
-			sf.rate = sf.want
-			remaining--
-			progressed = true
-			for _, aid := range sf.arcs {
-				capLeft[aid] -= sf.rate
-			}
-		}
-		if progressed {
-			continue
-		}
-		// Otherwise freeze subflows on the bottleneck arc(s) at the
-		// fair share.
-		for aid, list := range arcSubs {
-			n := 0
-			for _, sf := range list {
-				if !sf.frozen {
-					n++
-				}
-			}
-			if n == 0 {
-				continue
-			}
-			if capLeft[aid]/float64(n) <= minShare+1e-12 {
-				for _, sf := range list {
-					if sf.frozen {
-						continue
-					}
-					sf.frozen = true
-					sf.rate = minShare
-					remaining--
-					for _, a2 := range sf.arcs {
-						capLeft[a2] -= sf.rate
-					}
-				}
-			}
-		}
-	}
-	for i := range s.arcLoad {
-		s.arcLoad[i] = 0
-	}
-	for _, sf := range subs {
-		if sf.rate < 0 {
-			sf.rate = 0
-		}
-		sf.flow.pathRate[sf.level] = sf.rate
-		for _, aid := range sf.arcs {
-			s.arcLoad[aid] += sf.rate
-			// Mark links busy so the idle timer resets.
-			if sf.rate > 1e-9 {
-				s.lastBusy[s.T.Arc(aid).Link] = s.now
-			}
-		}
-	}
 }

@@ -52,6 +52,12 @@ type Opts struct {
 	Model power.Model
 	// PinnedOn elements never sleep (the always-on set).
 	PinnedOn *topo.ActiveSet
+	// FullAllocate switches the rate allocator into the global
+	// reference mode: every settle re-solves max-min fairness for the
+	// entire network instead of only the dirty component. Much slower
+	// at scale; kept (like mcf's FullReroute) so tests can cross-check
+	// the incremental allocator against the textbook solve.
+	FullAllocate bool
 }
 
 func (o *Opts) defaults() {
@@ -70,6 +76,11 @@ func (o *Opts) defaults() {
 }
 
 // Simulator runs the event loop over a topology.
+//
+// Internally it maintains a subflow universe — one entry per installed
+// (flow, path level) — and a link→subflow inverted index, so that rate
+// reallocation, failure reaction and sleep/wake bookkeeping all cost
+// O(affected flows) rather than O(all flows × paths) per event.
 type Simulator struct {
 	T    *topo.Topology
 	opts Opts
@@ -80,22 +91,86 @@ type Simulator struct {
 
 	phase    []LinkPhase // per link
 	lastBusy []float64   // per link: last time it carried traffic
-	arcLoad  []float64   // per arc: carried rate, maintained by allocate
+	wakeAt   []float64   // per link: completion time of an in-flight wake (0 = none)
 	sleepChk []float64   // per link: time of the pending sleep check (0 = none)
+	arcLoad  []float64   // per arc: carried rate, maintained by allocate
 
 	flows []*Flow
-	dirty bool // rate allocation needs recompute
+
+	// Subflow universe: one slot per (flow, level), assigned at AddFlow
+	// and stable for the simulation's lifetime.
+	subFlow     []int32      // owner flow ID
+	subLevel    []int32      // path level within the owner
+	subRate     []float64    // last allocated rate
+	subBlocked  []int32      // #arcs on the path whose link is not forwarding
+	subArcStart []int32      // CSR offsets into subArcs (len = #subflows+1)
+	subArcs     []topo.ArcID // concatenated path arcs per subflow
+
+	arcSubs [][]int32 // inverted index: arc -> subflow IDs crossing it
+
+	// Index occupancy: arc references held by live vs. removed flows.
+	// When dead references outnumber live ones the index is compacted,
+	// so long flow churn keeps walks and memory O(live), amortized.
+	indexLive int
+	indexDead int
+
+	// Dirty frontier: flows whose offered rates or path availability
+	// changed since the last allocate.
+	dirtyFlows []int32
+	flowDirty  []bool
+	dirty      bool
+
+	ws allocWorkspace
+
+	started bool // initial sleep checks booked
 
 	meter *power.Meter
 
 	failHandlers []func(now float64, l topo.LinkID)
-	rateSamples  map[int][]Sample // per flow ID
+
+	// Rate sampling is opt-in (RateSampling); sampleCap 0 means
+	// disabled, <0 unbounded, >0 a per-flow ring of that capacity.
+	sampleCap   int
+	rateSamples map[int]*sampleRing
 }
 
 // Sample is one (time, value) observation.
 type Sample struct {
 	Time  float64
 	Value float64
+}
+
+// sampleRing holds the most recent samples of one flow. With a
+// positive capacity it overwrites the oldest entry once full, so long
+// replays hold bounded memory per flow. The capacity is fixed at ring
+// creation: re-tuning RateSampling mid-run applies to flows sampled
+// for the first time afterwards, never reshaping a live ring (which
+// would scramble its chronology).
+type sampleRing struct {
+	cap  int // <= 0: unbounded
+	buf  []Sample
+	head int // next write position when full
+	full bool
+}
+
+func (r *sampleRing) push(s Sample) {
+	if r.cap <= 0 || len(r.buf) < r.cap {
+		r.buf = append(r.buf, s)
+		return
+	}
+	r.buf[r.head] = s
+	r.head = (r.head + 1) % r.cap
+	r.full = true
+}
+
+func (r *sampleRing) snapshot() []Sample {
+	out := make([]Sample, 0, len(r.buf))
+	if r.full {
+		out = append(out, r.buf[r.head:]...)
+		out = append(out, r.buf[:r.head]...)
+		return out
+	}
+	return append(out, r.buf...)
 }
 
 // New builds a simulator with every link initially active.
@@ -106,10 +181,14 @@ func New(t *topo.Topology, opts Opts) *Simulator {
 		opts:        opts,
 		phase:       make([]LinkPhase, t.NumLinks()),
 		lastBusy:    make([]float64, t.NumLinks()),
-		arcLoad:     make([]float64, t.NumArcs()),
+		wakeAt:      make([]float64, t.NumLinks()),
 		sleepChk:    make([]float64, t.NumLinks()),
-		rateSamples: make(map[int][]Sample),
+		arcLoad:     make([]float64, t.NumArcs()),
+		arcSubs:     make([][]int32, t.NumArcs()),
+		subArcStart: []int32{0},
+		rateSamples: make(map[int]*sampleRing),
 	}
+	s.ws.init(t)
 	if opts.Model != nil {
 		s.meter = power.NewMeter(t, opts.Model, s.activeSet())
 	}
@@ -150,21 +229,29 @@ func (s *Simulator) Run(until float64) {
 	s.settle()
 }
 
-// settle recomputes rates if dirty, updates sleep bookkeeping and the
-// power meter.
+// settle recomputes rates if dirty and updates the power meter.
 func (s *Simulator) settle() {
+	if !s.started {
+		s.started = true
+		s.initialSleepChecks()
+	}
 	if s.dirty {
 		s.allocate()
 		s.dirty = false
 	}
-	s.scheduleSleeps()
 	if s.meter != nil {
 		s.meter.Observe(s.now, s.activeSet())
 	}
 }
 
-// markDirty forces a rate reallocation at the end of the current tick.
-func (s *Simulator) markDirty() { s.dirty = true }
+// markFlowDirty adds a flow to the reallocation frontier.
+func (s *Simulator) markFlowDirty(fid int32) {
+	if !s.flowDirty[fid] {
+		s.flowDirty[fid] = true
+		s.dirtyFlows = append(s.dirtyFlows, fid)
+	}
+	s.dirty = true
+}
 
 // LinkState returns the current phase of a link.
 func (s *Simulator) LinkState(l topo.LinkID) LinkPhase { return s.phase[l] }
@@ -212,6 +299,38 @@ func (s *Simulator) PathPhase(p topo.Path) LinkPhase {
 	return worst
 }
 
+// setLinkPhase moves a link between phases, maintaining the blocked
+// counters of every subflow whose path crosses it and dirtying the
+// flows whose forwarding actually changes — the O(affected) core of
+// failure and sleep/wake reaction.
+func (s *Simulator) setLinkPhase(l topo.LinkID, p LinkPhase) {
+	old := s.phase[l]
+	if old == p {
+		return
+	}
+	s.phase[l] = p
+	if (old == LinkActive) == (p == LinkActive) {
+		return // forwarding unchanged (e.g. sleeping -> waking)
+	}
+	delta := int32(1)
+	if p == LinkActive {
+		delta = -1
+	}
+	lk := s.T.Link(l)
+	for _, aid := range [2]topo.ArcID{lk.AB, lk.BA} {
+		for _, sf := range s.arcSubs[aid] {
+			s.subBlocked[sf] += delta
+			f := s.flows[s.subFlow[sf]]
+			// Only flows that carry traffic here or offer traffic to
+			// this path need a reallocation.
+			if s.subRate[sf] > 0 ||
+				(!f.removed && f.Demand > 0 && f.Share[s.subLevel[sf]] > 0) {
+				s.markFlowDirty(s.subFlow[sf])
+			}
+		}
+	}
+}
+
 // RequestWake starts waking every sleeping link on p and returns the
 // time at which the whole path will be forwarding (now if already
 // active). Failed links cannot be woken.
@@ -221,27 +340,34 @@ func (s *Simulator) RequestWake(p topo.Path) float64 {
 		l := s.T.Arc(aid).Link
 		switch s.phase[l] {
 		case LinkSleeping:
-			s.phase[l] = LinkWaking
-			id := l
+			s.setLinkPhase(l, LinkWaking)
 			done := s.now + s.opts.WakeUpDelay
-			s.Schedule(done, func() {
-				if s.phase[id] == LinkWaking {
-					s.phase[id] = LinkActive
-					s.lastBusy[id] = s.now
-					s.markDirty()
-				}
-			})
+			s.wakeAt[l] = done
+			id := l
+			s.Schedule(done, func() { s.completeWake(id) })
 			if done > ready {
 				ready = done
 			}
 		case LinkWaking:
-			// Already waking; a fresh wake would complete no later.
-			if done := s.now + s.opts.WakeUpDelay; done > ready {
-				ready = done
+			// A wake is already in flight: it completes at the
+			// recorded deadline, not a full WakeUpDelay from now.
+			if s.wakeAt[l] > ready {
+				ready = s.wakeAt[l]
 			}
 		}
 	}
 	return ready
+}
+
+func (s *Simulator) completeWake(l topo.LinkID) {
+	if s.phase[l] != LinkWaking {
+		return
+	}
+	s.wakeAt[l] = 0
+	s.lastBusy[l] = s.now
+	s.setLinkPhase(l, LinkActive)
+	// If no traffic arrives the link must be able to doze off again.
+	s.scheduleSleepCheck(l, s.now+s.opts.SleepAfterIdle)
 }
 
 // FailLink fails a link at the current time. Registered failure
@@ -250,8 +376,9 @@ func (s *Simulator) FailLink(l topo.LinkID) {
 	if s.phase[l] == LinkFailed {
 		return
 	}
-	s.phase[l] = LinkFailed
-	s.markDirty()
+	s.wakeAt[l] = 0
+	s.setLinkPhase(l, LinkFailed)
+	s.markDirtyPower()
 	delay := s.opts.FailureDetect + s.opts.FailurePropagate
 	id := l
 	for _, h := range s.failHandlers {
@@ -265,9 +392,10 @@ func (s *Simulator) RepairLink(l topo.LinkID) {
 	if s.phase[l] != LinkFailed {
 		return
 	}
-	s.phase[l] = LinkActive
 	s.lastBusy[l] = s.now
-	s.markDirty()
+	s.setLinkPhase(l, LinkActive)
+	s.markDirtyPower()
+	s.scheduleSleepCheck(l, s.now+s.opts.SleepAfterIdle)
 }
 
 // OnLinkFail registers a handler invoked (after detection and
@@ -276,46 +404,76 @@ func (s *Simulator) OnLinkFail(fn func(now float64, l topo.LinkID)) {
 	s.failHandlers = append(s.failHandlers, fn)
 }
 
-// scheduleSleeps puts links that have been idle long enough to sleep
-// and books future sleep checks for recently idled links.
-func (s *Simulator) scheduleSleeps() {
-	for _, l := range s.T.Links() {
-		id := l.ID
-		if s.phase[id] != LinkActive {
-			continue
-		}
-		if s.opts.PinnedOn != nil && s.opts.PinnedOn.Link[id] {
-			continue
-		}
-		if s.LinkCarried(id) > 1e-9 {
-			s.lastBusy[id] = s.now
-			continue
-		}
-		idle := s.now - s.lastBusy[id]
-		if idle >= s.opts.SleepAfterIdle {
-			s.phase[id] = LinkSleeping
-			s.markDirtyPower()
-		} else {
-			// Check again when the idle timer would expire; dedup so
-			// each link has at most one pending check.
-			at := s.lastBusy[id] + s.opts.SleepAfterIdle
-			if s.sleepChk[id] >= at-1e-12 && s.sleepChk[id] > s.now {
+// FlowsOnLink calls yield for every installed (flow, level) whose path
+// crosses the given link, via the inverted index: O(paths over l), not
+// O(all flows). A flow appears once per level that uses the link;
+// removed flows are skipped.
+func (s *Simulator) FlowsOnLink(l topo.LinkID, yield func(f *Flow, level int)) {
+	lk := s.T.Link(l)
+	for _, aid := range [2]topo.ArcID{lk.AB, lk.BA} {
+		for _, sf := range s.arcSubs[aid] {
+			f := s.flows[s.subFlow[sf]]
+			if f.removed {
 				continue
 			}
-			s.sleepChk[id] = at
-			lid := id
-			s.Schedule(at, func() {
-				if s.sleepChk[lid] <= s.now+1e-12 {
-					s.sleepChk[lid] = 0
-				}
-				if s.phase[lid] == LinkActive && s.LinkCarried(lid) <= 1e-9 &&
-					(s.opts.PinnedOn == nil || !s.opts.PinnedOn.Link[lid]) &&
-					s.now-s.lastBusy[lid] >= s.opts.SleepAfterIdle-1e-9 {
-					s.phase[lid] = LinkSleeping
-					s.markDirtyPower()
-				}
-			})
+			yield(f, int(s.subLevel[sf]))
 		}
+	}
+}
+
+// pinned reports whether a link belongs to the never-sleep set.
+func (s *Simulator) pinned(l topo.LinkID) bool {
+	return s.opts.PinnedOn != nil && s.opts.PinnedOn.Link[l]
+}
+
+// initialSleepChecks books the first idle check for every link; after
+// this, checks are driven purely by busy->idle transitions and wake or
+// repair completions, so steady state costs nothing per settle.
+func (s *Simulator) initialSleepChecks() {
+	for _, l := range s.T.Links() {
+		if s.phase[l.ID] != LinkActive || s.pinned(l.ID) {
+			continue
+		}
+		if s.LinkCarried(l.ID) <= 1e-9 {
+			s.scheduleSleepCheck(l.ID, s.lastBusy[l.ID]+s.opts.SleepAfterIdle)
+		}
+	}
+}
+
+// scheduleSleepCheck books an idle check for a link, keeping at most
+// one outstanding check per link.
+func (s *Simulator) scheduleSleepCheck(l topo.LinkID, at float64) {
+	if s.pinned(l) {
+		return
+	}
+	if s.sleepChk[l] > s.now {
+		return // one already pending; it reschedules itself if needed
+	}
+	if at < s.now {
+		at = s.now
+	}
+	s.sleepChk[l] = at
+	id := l
+	s.Schedule(at, func() { s.sleepCheck(id) })
+}
+
+// sleepCheck puts an idle link to sleep once its idle timer expired,
+// or re-books itself if the link was busy in between.
+func (s *Simulator) sleepCheck(l topo.LinkID) {
+	s.sleepChk[l] = 0
+	if s.phase[l] != LinkActive || s.pinned(l) {
+		return
+	}
+	if s.LinkCarried(l) > 1e-9 {
+		// Busy: the next busy->idle transition books a fresh check.
+		return
+	}
+	if s.now-s.lastBusy[l] >= s.opts.SleepAfterIdle-1e-9 {
+		s.setLinkPhase(l, LinkSleeping)
+		s.markDirtyPower()
+	} else {
+		// Went busy and idle again since this check was booked.
+		s.scheduleSleepCheck(l, s.lastBusy[l]+s.opts.SleepAfterIdle)
 	}
 }
 
@@ -362,15 +520,41 @@ func (s *Simulator) PowerPct() float64 {
 	return 0
 }
 
-// SampleRates records every flow's achieved rate at the current time.
+// RateSampling enables per-flow rate recording. A positive capacity
+// keeps a ring of the most recent capacity samples per flow (bounded
+// memory for long replays); capacity <= 0 keeps every sample.
+// Sampling is off until this is called: SampleRates and SampleEvery
+// record nothing, so large-scale runs pay no memory for observability
+// they did not ask for.
+func (s *Simulator) RateSampling(capacity int) {
+	if capacity <= 0 {
+		capacity = -1
+	}
+	s.sampleCap = capacity
+}
+
+// SampleRates records every live flow's achieved rate at the current
+// time. A no-op unless RateSampling was called.
 func (s *Simulator) SampleRates() {
+	if s.sampleCap == 0 {
+		return
+	}
 	for _, f := range s.flows {
-		s.rateSamples[f.ID] = append(s.rateSamples[f.ID], Sample{Time: s.now, Value: f.Rate()})
+		if f.removed {
+			continue
+		}
+		r := s.rateSamples[f.ID]
+		if r == nil {
+			r = &sampleRing{cap: s.sampleCap}
+			s.rateSamples[f.ID] = r
+		}
+		r.push(Sample{Time: s.now, Value: f.Rate()})
 	}
 }
 
-// SampleEvery arranges for fn (and a rate sample) to run periodically
-// until the simulator stops being run past the horizon.
+// SampleEvery arranges for fn (and, when RateSampling is enabled, a
+// rate sample) to run periodically until the simulator stops being run
+// past the horizon.
 func (s *Simulator) SampleEvery(period, until float64, fn func(now float64)) {
 	var tick func()
 	tick = func() {
@@ -385,8 +569,15 @@ func (s *Simulator) SampleEvery(period, until float64, fn func(now float64)) {
 	s.After(0, tick)
 }
 
-// RateSamples returns the recorded samples for a flow.
-func (s *Simulator) RateSamples(id int) []Sample { return s.rateSamples[id] }
+// RateSamples returns the recorded samples for a flow in chronological
+// order (nil when sampling was never enabled for it).
+func (s *Simulator) RateSamples(id int) []Sample {
+	r := s.rateSamples[id]
+	if r == nil {
+		return nil
+	}
+	return r.snapshot()
+}
 
 // MaxArcUtil returns the current worst arc utilization.
 func (s *Simulator) MaxArcUtil() float64 {

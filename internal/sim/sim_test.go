@@ -220,6 +220,7 @@ func TestMeterTracksSleepTransitions(t *testing.T) {
 func TestSampleRates(t *testing.T) {
 	tp, a, b, p := dumbbell(t)
 	s := New(tp, Opts{})
+	s.RateSampling(0) // unbounded
 	f, _ := s.AddFlow(a, b, 5*topo.Mbps, []topo.Path{p})
 	s.SampleEvery(0.5, 4.9, nil)
 	s.Run(5)

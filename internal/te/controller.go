@@ -9,6 +9,13 @@
 // Gamma of the measured excess moves per decision, and consolidation
 // back onto lower levels only happens below a low-water mark, which
 // gives hysteresis and prevents persistent oscillation.
+//
+// The controller is built to manage 100k+ flows: probes are issued by
+// a single timer wheel that batches all flows with the same probe RTT
+// into one simulator event with one pooled utilization buffer (no
+// per-flow closures or allocations), and failure reaction walks the
+// simulator's link→flow inverted index, so its cost is proportional to
+// the flows actually crossing the failed link.
 package te
 
 import (
@@ -56,12 +63,37 @@ func (o *Opts) defaults(t *topo.Topology) {
 	}
 }
 
+// Fingerprint accumulation: FNV-1a over every state-changing action,
+// so two runs (or two allocator modes) can be compared for behavioral
+// identity without recording the full journal.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+const (
+	opShift = iota + 1
+	opWake
+	opEvacuate
+)
+
 // Controller drives share decisions for the flows it manages.
 type Controller struct {
 	s    *sim.Simulator
 	opts Opts
 
 	flows []*sim.Flow
+	slot  map[int]int // flow ID -> index into flows
+
+	// pendingEvac holds, per managed flow, a bitmask of levels with an
+	// evacuation in flight (wake requested, shift not yet applied), so
+	// the failure handler and the probe backstop cannot double-book
+	// the same move.
+	pendingEvac []uint32
+
+	wheel probeWheel
+
+	fp uint64 // running FNV-1a action fingerprint
 
 	// Decisions counts control actions taken (for the overhead bench).
 	Decisions int
@@ -74,15 +106,49 @@ type Controller struct {
 // NewController builds a controller over a simulator.
 func NewController(s *sim.Simulator, opts Opts) *Controller {
 	opts.defaults(s.T)
-	return &Controller{s: s, opts: opts}
+	c := &Controller{s: s, opts: opts, slot: make(map[int]int), fp: fnvOffset}
+	c.wheel.gran = opts.Period / 8
+	return c
 }
 
 // Period returns the effective probe period T.
 func (c *Controller) Period() float64 { return c.opts.Period }
 
+// Fingerprint returns the FNV-1a hash of the (shift, wake, evacuate)
+// action sequence so far: a compact behavioral fingerprint of the run.
+func (c *Controller) Fingerprint() uint64 { return c.fp }
+
+// record folds one action into the behavioral fingerprint. frac is
+// quantized to nanoshares so the incremental and full-allocation
+// reference modes fingerprint identically.
+func (c *Controller) record(op int, flow, from, to int, frac float64) {
+	h := c.fp
+	for _, x := range [5]uint64{
+		uint64(op), uint64(flow), uint64(from + 1), uint64(to + 1),
+		uint64(int64(math.Round(frac * 1e9))),
+	} {
+		h ^= x
+		h *= fnvPrime
+	}
+	c.fp = h
+}
+
 // Manage registers a flow with the controller. The flow's Paths must be
-// ordered by level: always-on first, failover last.
-func (c *Controller) Manage(f *sim.Flow) { c.flows = append(c.flows, f) }
+// ordered by level: always-on first, failover last. Flows may be added
+// before or after Start.
+func (c *Controller) Manage(f *sim.Flow) {
+	slot := len(c.flows)
+	c.flows = append(c.flows, f)
+	c.slot[f.ID] = slot
+	c.pendingEvac = append(c.pendingEvac, 0)
+	var rtt float64
+	for _, p := range f.Paths {
+		if r := 2 * p.Latency(c.s.T); r > rtt {
+			rtt = r
+		}
+	}
+	c.wheel.add(slot, rtt, len(f.Paths))
+}
 
 // Start begins periodic probing at the current simulation time and
 // registers the failure handler.
@@ -90,9 +156,7 @@ func (c *Controller) Start() {
 	c.s.OnLinkFail(c.onFailure)
 	var tick func()
 	tick = func() {
-		for _, f := range c.flows {
-			c.probe(f)
-		}
+		c.probeAll()
 		c.s.After(c.opts.Period, tick)
 	}
 	c.s.After(0, tick)
@@ -103,30 +167,67 @@ func (c *Controller) Start() {
 // measurement (the paper reports the agent costs 2–3 % of a router's
 // per-packet budget, §5.3).
 func (c *Controller) DecideOnce(f *sim.Flow) {
-	utils := make([]float64, len(f.Paths))
+	utils := c.wheel.scratch(len(f.Paths))
 	for i, p := range f.Paths {
 		utils[i] = c.s.PathUtil(p)
 	}
 	c.decide(f, utils)
 }
 
-// probe snapshots the utilizations of f's paths and delivers them to
-// the decision logic after the probe RTT.
-func (c *Controller) probe(f *sim.Flow) {
-	utils := make([]float64, len(f.Paths))
-	var maxRTT float64
-	for i, p := range f.Paths {
-		utils[i] = c.s.PathUtil(p)
-		if rtt := 2 * p.Latency(c.s.T); rtt > maxRTT {
-			maxRTT = rtt
+// probeAll snapshots the path utilizations of every managed flow and
+// delivers them to the decision logic after each flow's probe RTT.
+// Flows sharing an RTT share one wheel slot: one pooled buffer, one
+// scheduled event — not a closure and a fresh slice per flow.
+func (c *Controller) probeAll() {
+	for gi := range c.wheel.groups {
+		g := &c.wheel.groups[gi]
+		if g.inFlight == 0 {
+			// Quiet window: drop slots of removed flows so sustained
+			// churn keeps probe rounds O(live flows).
+			g.compact(
+				func(slot int) bool { return c.flows[slot].Removed() },
+				func(slot int) int { return len(c.flows[slot].Paths) },
+			)
 		}
+		n := len(g.slots)
+		if n == 0 {
+			continue
+		}
+		buf := g.grab()
+		off := 0
+		for _, slot := range g.slots {
+			f := c.flows[slot]
+			if !f.Removed() { // removed mid-flight: slot skipped at delivery
+				for i, p := range f.Paths {
+					buf[off+i] = c.s.PathUtil(p)
+				}
+			}
+			off += len(f.Paths)
+		}
+		if c.opts.NoProbeDelay {
+			c.deliver(gi, n, buf)
+			continue
+		}
+		c.s.After(g.rtt, func() { c.deliver(gi, n, buf) })
 	}
-	deliver := func() { c.decide(f, utils) }
-	if c.opts.NoProbeDelay {
-		deliver()
-		return
+}
+
+// deliver runs the decision logic for the first n flows of a wheel
+// group against the utilizations snapshotted at probe time, then
+// returns the buffer to the group's pool. n is pinned at probe time so
+// flows managed mid-flight keep the snapshot layout intact.
+func (c *Controller) deliver(gi, n int, buf []float64) {
+	g := &c.wheel.groups[gi]
+	off := 0
+	for k := 0; k < n; k++ {
+		f := c.flows[g.slots[k]]
+		m := len(f.Paths)
+		if !f.Removed() {
+			c.decide(f, buf[off:off+m])
+		}
+		off += m
 	}
-	c.s.After(maxRTT, deliver)
+	g.release(buf)
 }
 
 // decide applies the damped shifting policy for one flow given probed
@@ -162,28 +263,40 @@ func (c *Controller) decide(f *sim.Flow, utils []float64) {
 	}
 
 	// Headroom: consolidate share from higher levels back down so
-	// their elements can sleep.
+	// their elements can sleep. movableRate budgets the whole pass:
+	// everything moved down here raises the primary's bottleneck by at
+	// most movableRate/bottleneck, so its post-move utilization
+	// provably stays under Threshold×LowWater as documented on Opts.
 	room := th*c.opts.LowWater - utils[primary]
 	if room <= 0 {
+		return
+	}
+	// Nothing below changes link phases, so check the primary's
+	// forwarding state once, not per level.
+	if c.s.PathPhase(f.Paths[primary]) != sim.LinkActive {
 		return
 	}
 	bottleneck := f.Paths[primary].Bottleneck(c.s.T)
 	movableRate := room * bottleneck
 	for lvl := len(f.Paths) - 1; lvl > primary; lvl-- {
-		sh := f.ShareOf(lvl)
-		if sh <= 1e-6 || movableRate <= 0 {
-			continue
+		if movableRate <= 1e-12 {
+			break // budget spent: nothing below can move either
 		}
-		if c.s.PathPhase(f.Paths[primary]) != sim.LinkActive {
-			break
+		sh := f.ShareOf(lvl)
+		if sh <= 1e-6 {
+			continue
 		}
 		maxShare := movableRate / math.Max(f.Demand, 1e-9)
 		frac := math.Min(sh, c.opts.Gamma*maxShare)
+		if frac > maxShare {
+			frac = maxShare // keep the LowWater promise even if Gamma > 1
+		}
 		if frac <= 1e-6 {
 			continue
 		}
 		c.s.ShiftShare(f, lvl, primary, frac)
 		c.Shifts++
+		c.record(opShift, f.ID, lvl, primary, frac)
 		movableRate -= frac * f.Demand
 	}
 }
@@ -225,13 +338,16 @@ func (c *Controller) shiftWhenReady(f *sim.Flow, from, to int, frac float64) {
 	case sim.LinkActive:
 		c.s.ShiftShare(f, from, to, frac)
 		c.Shifts++
+		c.record(opShift, f.ID, from, to, frac)
 	case sim.LinkSleeping, sim.LinkWaking:
 		ready := c.s.RequestWake(p)
 		c.Wakes++
+		c.record(opWake, f.ID, from, to, frac)
 		c.s.Schedule(ready, func() {
-			if c.s.PathPhase(p) == sim.LinkActive {
+			if c.s.PathPhase(p) == sim.LinkActive && !f.Removed() {
 				c.s.ShiftShare(f, from, to, frac)
 				c.Shifts++
+				c.record(opShift, f.ID, from, to, frac)
 			}
 		})
 	case sim.LinkFailed:
@@ -240,22 +356,34 @@ func (c *Controller) shiftWhenReady(f *sim.Flow, from, to int, frac float64) {
 }
 
 // onFailure reacts to a link failure notification (already delayed by
-// detection + propagation): every managed flow with share on a path
-// using the failed link evacuates that share to the best surviving
-// level, waking it if necessary.
+// detection + propagation). The simulator's inverted index yields
+// exactly the (flow, level) pairs whose paths cross the failed link,
+// so reaction cost is O(affected flows), not O(all flows × paths).
 func (c *Controller) onFailure(_ float64, l topo.LinkID) {
-	for _, f := range c.flows {
-		for lvl, p := range f.Paths {
-			if f.ShareOf(lvl) <= 1e-9 || !p.UsesLink(c.s.T, l) {
-				continue
-			}
-			c.evacuate(f, lvl)
+	c.s.FlowsOnLink(l, func(f *sim.Flow, lvl int) {
+		if _, managed := c.slot[f.ID]; !managed {
+			return
 		}
-	}
+		if f.ShareOf(lvl) <= 1e-9 {
+			return
+		}
+		c.evacuate(f, lvl)
+	})
 }
 
-// evacuate moves all share off the given (failed) level.
+// evacuate moves all share off the given (failed) level. A per-flow
+// pending mark guards the wake-then-shift window: the failure handler
+// and the probe backstop may both observe the failed level before the
+// first evacuation's wake completes, and only one move may be booked.
 func (c *Controller) evacuate(f *sim.Flow, lvl int) {
+	slot, managed := c.slot[f.ID]
+	if !managed {
+		return
+	}
+	bit := uint32(1) << uint(lvl)
+	if c.pendingEvac[slot]&bit != 0 {
+		return // evacuation already in flight for this level
+	}
 	sh := f.ShareOf(lvl)
 	if sh <= 1e-9 {
 		return
@@ -279,14 +407,20 @@ func (c *Controller) evacuate(f *sim.Flow, lvl int) {
 	if c.s.PathPhase(p) == sim.LinkActive {
 		c.s.ShiftShare(f, lvl, target, sh)
 		c.Shifts++
+		c.record(opEvacuate, f.ID, lvl, target, sh)
 		return
 	}
+	c.pendingEvac[slot] |= bit
 	ready := c.s.RequestWake(p)
 	c.Wakes++
+	c.record(opWake, f.ID, lvl, target, sh)
 	c.s.Schedule(ready, func() {
-		if c.s.PathPhase(p) == sim.LinkActive {
-			c.s.ShiftShare(f, lvl, target, f.ShareOf(lvl))
+		c.pendingEvac[slot] &^= bit // allow the backstop to retry if this move dies
+		if c.s.PathPhase(p) == sim.LinkActive && !f.Removed() {
+			moved := f.ShareOf(lvl)
+			c.s.ShiftShare(f, lvl, target, moved)
 			c.Shifts++
+			c.record(opEvacuate, f.ID, lvl, target, moved)
 		}
 	})
 }

@@ -122,6 +122,7 @@ func TestFig7Timeline(t *testing.T) {
 	ehArc := mustArcUtilTarget(t, s)
 	eh := s.T.Arc(ehArc).Link
 	s.Schedule(5.7, func() { s.FailLink(eh) })
+	s.RateSampling(0)
 	s.SampleEvery(0.05, 8, nil)
 	s.Run(8)
 

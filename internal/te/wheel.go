@@ -1,0 +1,104 @@
+package te
+
+import "math"
+
+// probeWheel is the controller's probe delivery scheduler. Managed
+// flows are hashed into wheel groups by their probe RTT (the delay
+// between snapshotting a path's utilization and the edge agent hearing
+// about it); one probe round issues a single simulator event per
+// non-empty group, carrying a pooled flat buffer of utilizations for
+// every flow in the group.
+//
+// This replaces the seed runtime's per-flow After closure and
+// per-probe make([]float64, …): at 100k managed flows a probe round
+// costs a handful of events and zero steady-state allocations.
+type probeWheel struct {
+	// gran is the wheel's slot granularity: probe RTTs are rounded up
+	// to a multiple of it, so a topology with thousands of distinct
+	// path RTTs still delivers each round in a bounded number of
+	// batched events (at most period/gran slots). Feedback arrives at
+	// most one slot later than the true RTT — well inside the
+	// controller's damping margin.
+	gran   float64
+	groups []wheelGroup
+	byRTT  map[float64]int
+
+	scratchBuf []float64 // for synchronous DecideOnce calls
+}
+
+// wheelGroup is one wheel slot: the flows whose probes complete after
+// the same RTT.
+type wheelGroup struct {
+	rtt     float64
+	slots   []int // controller flow indices, in Manage order
+	utilLen int   // Σ len(f.Paths) over slots
+	free    [][]float64
+	// inFlight counts snapshot buffers between grab and release; slot
+	// compaction must not reorder slots while one is outstanding (its
+	// delivery indexes the slot layout pinned at probe time).
+	inFlight int
+}
+
+// add registers a managed flow (by its controller slot) with the wheel.
+func (w *probeWheel) add(slot int, rtt float64, paths int) {
+	if w.byRTT == nil {
+		w.byRTT = make(map[float64]int)
+	}
+	if w.gran > 0 && rtt > 0 {
+		rtt = math.Ceil(rtt/w.gran) * w.gran
+	}
+	gi, ok := w.byRTT[rtt]
+	if !ok {
+		gi = len(w.groups)
+		w.byRTT[rtt] = gi
+		w.groups = append(w.groups, wheelGroup{rtt: rtt})
+	}
+	g := &w.groups[gi]
+	g.slots = append(g.slots, slot)
+	g.utilLen += paths
+}
+
+// grab returns a utilization buffer covering the group's current flow
+// set, reusing a pooled one when available. In steady state the pool
+// holds ceil(rtt/period)+1 buffers and grab never allocates.
+func (g *wheelGroup) grab() []float64 {
+	g.inFlight++
+	if n := len(g.free); n > 0 {
+		buf := g.free[n-1]
+		g.free = g.free[:n-1]
+		if cap(buf) >= g.utilLen {
+			return buf[:g.utilLen]
+		}
+	}
+	return make([]float64, g.utilLen)
+}
+
+// release returns a delivered buffer to the pool.
+func (g *wheelGroup) release(buf []float64) {
+	g.inFlight--
+	g.free = append(g.free, buf)
+}
+
+// compact drops slots whose flow has been removed, preserving slot
+// order. Callers must ensure no snapshot is in flight.
+func (g *wheelGroup) compact(removed func(slot int) bool, paths func(slot int) int) {
+	kept := g.slots[:0]
+	utilLen := 0
+	for _, slot := range g.slots {
+		if removed(slot) {
+			continue
+		}
+		kept = append(kept, slot)
+		utilLen += paths(slot)
+	}
+	g.slots = kept
+	g.utilLen = utilLen
+}
+
+// scratch returns a reusable buffer for synchronous decisions.
+func (w *probeWheel) scratch(n int) []float64 {
+	if cap(w.scratchBuf) < n {
+		w.scratchBuf = make([]float64, n)
+	}
+	return w.scratchBuf[:n]
+}

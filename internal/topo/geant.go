@@ -4,7 +4,7 @@ package topo
 // research network as of 2005, the topology behind the paper's Figures
 // 1b, 2a, 2b and 5: 23 PoPs and 37 links.
 //
-// Substitution note (DESIGN.md §3): the exact 2005 map ships with the
+// Substitution note (DESIGN.md §2): the exact 2005 map ships with the
 // TOTEM dataset which is not redistributable here; this embedding keeps
 // the published node count, the 10G/2.5G/622M capacity tiers and the
 // West-European core / peripheral-spur structure that drive the

@@ -6,7 +6,7 @@ package topo
 // endpoint has degree < 7, else 52 Mbps — and keeps latencies from the
 // Rocketfuel mapping engine (here: derived from city geography).
 //
-// Substitution note (DESIGN.md §3): the raw Rocketfuel maps are not
+// Substitution note (DESIGN.md §2): the raw Rocketfuel maps are not
 // bundled; these embeddings preserve PoP counts of the published
 // PoP-level maps within a few nodes, the degree distribution shape
 // (a dense national core plus lower-degree spurs), and the redundancy

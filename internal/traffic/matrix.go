@@ -2,7 +2,7 @@
 // the capacity-based gravity model (§5.1), the ElasticTree sine-wave
 // datacenter demand with near/far locality (§5.1), and the synthetic
 // GÉANT-like and Google-datacenter-like traces behind Figures 1, 2 and 5
-// (see DESIGN.md §3 for the substitution rationale).
+// (see DESIGN.md §2 for the substitution rationale).
 package traffic
 
 import (

@@ -8,7 +8,7 @@ import (
 // DiurnalOpts parameterizes the synthetic GÉANT-like trace generator.
 // The real dataset (Uhlig et al.: 15-min TMs over 15 days from 25 May
 // 2005) is substituted by gravity-base × diurnal × weekly × correlated
-// lognormal noise; see DESIGN.md §3.
+// lognormal noise; see DESIGN.md §2.
 type DiurnalOpts struct {
 	Days        int     // default 15
 	IntervalSec float64 // default 900 (15 minutes)

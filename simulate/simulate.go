@@ -8,6 +8,7 @@
 package simulate
 
 import (
+	"response/internal/scenario"
 	"response/internal/sim"
 	"response/internal/te"
 	"response/topology"
@@ -41,6 +42,22 @@ const (
 	LinkFailed   = sim.LinkFailed
 )
 
+// Scenario types: the named large-scale online workloads (diurnal
+// replay, flash crowd, correlated failure storm, rolling repair, Click
+// failover), each deterministic under a seed and runnable with
+// hundreds of thousands of managed flows.
+type (
+	// Scenario configures a scenario run (flow count, duration, seed,
+	// flash/storm parameters, allocator mode).
+	Scenario = scenario.Config
+	// ScenarioResult carries the controller's action counters, its
+	// behavioral fingerprint and the delivered fraction.
+	ScenarioResult = scenario.Result
+	// Replay is a running scenario that benchmarks and long-lived
+	// drivers can advance window by window.
+	Replay = scenario.Replay
+)
+
 // New returns a simulator over t.
 func New(t *topology.Topology, opts Opts) *Simulator { return sim.New(t, opts) }
 
@@ -49,4 +66,19 @@ func New(t *topology.Topology, opts Opts) *Simulator { return sim.New(t, opts) }
 // Controller.Start.
 func NewController(s *Simulator, opts ControllerOpts) *Controller {
 	return te.NewController(s, opts)
+}
+
+// Scenarios lists the runnable scenario names.
+func Scenarios() []string { return scenario.Names() }
+
+// RunScenario executes a named scenario preset end to end.
+func RunScenario(name string, cfg Scenario) (ScenarioResult, error) {
+	return scenario.Run(name, cfg)
+}
+
+// NewGeantDiurnalReplay plans GÉANT, installs cfg.Flows managed flows
+// with phase-jittered diurnal demands and returns the Replay ready to
+// Advance.
+func NewGeantDiurnalReplay(cfg Scenario) (*Replay, error) {
+	return scenario.NewGeantDiurnal(cfg)
 }
