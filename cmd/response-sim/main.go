@@ -8,35 +8,69 @@
 // Usage:
 //
 //	response-sim -fig 4|7|8a|8b|9|web|all
-//	response-sim -scenario diurnal|flash|storm|repair|click \
-//	             [-flows N] [-seed S] [-duration SECONDS] [-full] [-power]
+//	response-sim -scenario diurnal|flash|storm|repair|click|replan \
+//	             [-flows N] [-seed S] [-duration SECONDS] [-full] [-power] \
+//	             [-trace events.jsonl]
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"slices"
 	"strings"
 
 	"response/experiments"
+	"response/simulate"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "experiment: 4, 7, 8a, 8b, 9, web or all")
 	scen := flag.String("scenario", "", "online scenario: "+
-		strings.Join(experiments.OnlineScenarios(), ", "))
+		strings.Join(simulate.Scenarios(), ", "))
 	flows := flag.Int("flows", 10000, "managed flows for -scenario runs")
 	seed := flag.Int64("seed", 1, "scenario seed (identical seed ⇒ identical result)")
 	duration := flag.Float64("duration", 6*3600, "simulated seconds for -scenario runs")
 	full := flag.Bool("full", false, "use the global reference allocator (cross-check mode)")
 	meter := flag.Bool("power", false, "meter power during the scenario")
+	tracePath := flag.String("trace", "", "write the JSONL event trace of a -scenario run to this file")
 	flag.Parse()
 
 	if *scen != "" {
-		res, err := experiments.RunOnline(*scen, *flows, *seed, *duration, *full, *meter)
+		if valid := simulate.Scenarios(); !slices.Contains(valid, *scen) {
+			fmt.Fprintf(os.Stderr, "response-sim: unknown scenario %q\nvalid scenarios: %s\n",
+				*scen, strings.Join(valid, ", "))
+			os.Exit(2)
+		}
+		cfg := simulate.Scenario{
+			Seed:         *seed,
+			Flows:        *flows,
+			Duration:     *duration,
+			FullAllocate: *full,
+			Power:        *meter,
+		}
+		var flush func()
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			fail(err)
+			bw := bufio.NewWriter(f)
+			ew := simulate.NewEventWriter(bw)
+			cfg.Events = ew
+			flush = func() {
+				fail(ew.Err())
+				fail(bw.Flush())
+				fail(f.Close())
+				fmt.Printf("  wrote %d events to %s\n", ew.Events(), *tracePath)
+			}
+		}
+		res, err := simulate.RunScenario(*scen, cfg)
 		fail(err)
 		res.Print(os.Stdout)
+		if flush != nil {
+			flush()
+		}
 		return
 	}
 

@@ -43,11 +43,26 @@
 // byte-identical, and a loaded plan drives the online controller and
 // the simulator exactly as the freshly computed one.
 //
+// # Plan lifecycle
+//
+// Plans are recomputed rarely but not never: response/lifecycle closes
+// the loop online. A lifecycle.Manager monitors live demand drift
+// against the planned matrix with the paper's §3 deviation statistic,
+// replans off the hot path through the context-aware Planner when the
+// configured trigger policy fires (relative-deviation threshold,
+// hysteresis, minimum interval), stages the result as a versioned plan
+// artifact behind fingerprint and power gates, and hot-swaps the
+// tables into a running simulate.Controller with zero traffic
+// disruption — new levels install as fresh subflows, demand hands over
+// only once the new always-on path forwards, and the old tables drain
+// before retirement. See DESIGN.md §6.
+//
 // # Companion packages
 //
 //   - response/topology:      network model and builders (fat-tree, GÉANT, ...)
 //   - response/trafficmatrix: demand matrices, gravity model, synthetic traces
 //   - response/simulate:      discrete-event simulator + REsPoNseTE controller
+//   - response/lifecycle:     deviation-triggered replanning + table hot-swap
 //   - response/experiments:   one entry point per reproduced paper figure
 //
 // The implementation lives under internal/; the public packages are

@@ -11,8 +11,10 @@ type Online = scenario.Result
 
 // OnlineScenarios lists the runnable online scenario names: "diurnal"
 // (GÉANT diurnal replay), "flash" (flash crowd), "storm" (correlated
-// failure storm), "repair" (storm followed by rolling repair) and
-// "click" (the §5.3 Click-testbed failover at its original scale).
+// failure storm), "repair" (storm followed by rolling repair), "click"
+// (the §5.3 Click-testbed failover at its original scale) and "replan"
+// (diurnal drift past the deviation threshold triggering a background
+// replan and a zero-disruption table hot-swap mid-replay).
 func OnlineScenarios() []string { return scenario.Names() }
 
 // RunOnline executes a named online scenario with the given managed

@@ -1,0 +1,55 @@
+package lifecycle
+
+import (
+	"testing"
+)
+
+// BenchmarkReplanSwap100kFlows is the acceptance benchmark for the
+// hot-swap path: each op stages a plan whose tables differ from the
+// installed one into a live runtime managing ~100k flows and runs the
+// simulation until the swap fully drains (wake + handoff + retire).
+// Ops alternate between the two plans so every op performs a real
+// migration.
+//
+// The quantity under test is allocs/op relative to the migrated/op
+// metric: allocations must be proportional to the flows actually
+// migrated (a handful per retargeted flow: the replacement Flow, its
+// share/rate slices, subflow index growth) plus an O(pairs) staging
+// overhead (artifact round trip, per-pair level comparison) — never to
+// the flow universe. Probe rounds over all 100k flows keep running
+// throughout and stay allocation-free.
+func BenchmarkReplanSwap100kFlows(b *testing.B) {
+	// GÉANT's default endpoint universe yields 506 planned pairs;
+	// ~198 flows per pair ≈ 100k managed flows.
+	r := newRig(b, 1, 198, 0.04)
+	if len(r.flows) < 95_000 {
+		b.Fatalf("rig built %d flows, want ~100k", len(r.flows))
+	}
+	p2 := driftedPlan(b, r, 3)
+	m := New(r.s, r.c, r.plan, r.sameReplan(), Opts{
+		CheckEvery: 1e12, NoPowerGate: true, DrainGrace: 60,
+	})
+	m.Start()
+	r.s.Run(120) // settle: pools warm, idle links asleep
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := p2
+		if i%2 == 1 {
+			p = r.plan
+		}
+		if err := m.StageAndSwap(p); err != nil {
+			b.Fatal(err)
+		}
+		for m.State() != StateIdle {
+			r.s.Run(r.s.Now() + 60)
+		}
+	}
+	b.StopTimer()
+	met := m.Metrics()
+	if met.SwapsDone != b.N || met.MigratedFlows == 0 {
+		b.Fatalf("swaps done %d (want %d), migrated %d", met.SwapsDone, b.N, met.MigratedFlows)
+	}
+	b.ReportMetric(float64(met.MigratedFlows)/float64(b.N), "migrated/op")
+	b.ReportMetric(float64(len(r.flows)), "universe")
+}

@@ -1,0 +1,147 @@
+package lifecycle
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"response"
+	"response/internal/sim"
+	"response/internal/te"
+	"response/internal/topo"
+)
+
+// flowState is one live flow's externally visible placement.
+type flowState struct {
+	o, d   topo.NodeID
+	demand float64
+	rate   float64
+}
+
+func liveStates(s *sim.Simulator) []flowState {
+	var out []flowState
+	for _, f := range s.Flows() {
+		if f.Removed() {
+			continue
+		}
+		out = append(out, flowState{o: f.O, d: f.D, demand: f.Demand, rate: f.Rate()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.o != b.o {
+			return a.o < b.o
+		}
+		if a.d != b.d {
+			return a.d < b.d
+		}
+		if a.demand != b.demand {
+			return a.demand < b.demand
+		}
+		return a.rate < b.rate
+	})
+	return out
+}
+
+// freshOnPlan builds a simulator/controller pair directly on the given
+// plan with the given per-flow demand program — what a restart into
+// the new plan would look like.
+func freshOnPlan(t *testing.T, plan *response.Plan, states []flowState) *sim.Simulator {
+	t.Helper()
+	g := plan.Topology()
+	s := sim.New(g, sim.Opts{
+		WakeUpDelay:    5,
+		SleepAfterIdle: 60,
+		PinnedOn:       plan.AlwaysOnSet(),
+	})
+	c := te.NewController(s, te.Opts{Threshold: 0.9, Gamma: 0.5, Period: 60})
+	for _, st := range states {
+		ps, ok := plan.PathSet(st.o, st.d)
+		if !ok {
+			t.Fatalf("fresh rig: pair %d->%d not in plan", st.o, st.d)
+		}
+		f, err := s.AddFlow(st.o, st.d, st.demand, ps.Levels())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Manage(f)
+	}
+	c.Start()
+	if c.Shifts != 0 {
+		t.Fatalf("fresh controller shifted at this load; equivalence regime broken")
+	}
+	return s
+}
+
+// TestSwapEquivalence is the randomized hot-swap equivalence check:
+// after a swap fully drains and the network settles, the runtime's
+// steady state — per-flow rates, arc loads, and the simulator state
+// fingerprint — must match a controller started fresh on the new
+// plan. Load is kept under the activation threshold so neither run
+// shifts (steady state is then history-free and the comparison exact);
+// seeds randomize per-pair flow counts, demand splits and the drift
+// that shapes the staged plan.
+func TestSwapEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			r := newRig(t, seed, 0, 0.04) // random 1..3 flows per pair; shift-free load
+			r.s.Run(120)
+			p2 := driftedPlan(t, r, 2+float64(seed))
+			m := New(r.s, r.c, r.plan, r.sameReplan(), Opts{
+				CheckEvery: 1e9, NoPowerGate: true,
+			})
+			m.Start()
+			if err := m.StageAndSwap(p2); err != nil {
+				t.Fatal(err)
+			}
+			r.s.Run(1000) // drain + idle links back asleep
+			met := m.Metrics()
+			if met.SwapsDone != 1 || met.MigratedFlows == 0 {
+				t.Fatalf("swap did not complete: %+v", met)
+			}
+			if r.c.Shifts != 0 {
+				t.Fatalf("swapped controller shifted at this load; equivalence regime broken")
+			}
+
+			states := liveStates(r.s)
+			fresh := freshOnPlan(t, p2, states)
+			fresh.Run(1000)
+
+			// Per-flow rates (matched by sorted (O, D, demand) key).
+			freshStates := liveStates(fresh)
+			if len(states) != len(freshStates) {
+				t.Fatalf("live flow count %d vs fresh %d", len(states), len(freshStates))
+			}
+			for i := range states {
+				a, b := states[i], freshStates[i]
+				if a.o != b.o || a.d != b.d || a.demand != b.demand {
+					t.Fatalf("flow multiset mismatch at %d: %+v vs %+v", i, a, b)
+				}
+				if !closeRel(a.rate, b.rate, 1e-9) {
+					t.Errorf("pair %d->%d demand %g: post-swap rate %g vs fresh %g",
+						a.o, a.d, a.demand, a.rate, b.rate)
+				}
+			}
+			// Arc loads.
+			for _, arc := range r.g.Arcs() {
+				if !closeRel(r.s.ArcUtil(arc.ID), fresh.ArcUtil(arc.ID), 1e-9) {
+					t.Errorf("arc %d: post-swap util %g vs fresh %g",
+						arc.ID, r.s.ArcUtil(arc.ID), fresh.ArcUtil(arc.ID))
+				}
+			}
+			// And the quantized whole-state fingerprint.
+			if a, b := r.s.StateFingerprint(), fresh.StateFingerprint(); a != b {
+				t.Errorf("state fingerprint %016x vs fresh %016x", a, b)
+			}
+		})
+	}
+}
+
+// closeRel reports |a-b| <= tol × max(1, |b|).
+func closeRel(a, b, tol float64) bool {
+	scale := math.Abs(b)
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Abs(a-b) <= tol*scale
+}

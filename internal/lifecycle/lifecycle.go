@@ -1,0 +1,614 @@
+// Package lifecycle closes the REsPoNse control loop: it watches live
+// demand drift away from the matrix the installed plan was computed
+// for, replans off the hot path through the context-aware public
+// planner, stages the result as a versioned plan artifact behind
+// fingerprint and power gates, and hot-swaps the always-on/on-demand/
+// failover tables into the running controller with zero traffic
+// disruption.
+//
+// The paper's operational claim (Figure 1b) is that such swaps are
+// rare — a handful per hour on the GÉANT replay — because the
+// energy-critical paths are largely demand-oblivious. This package is
+// the component that *acts* on that claim instead of only measuring
+// it: the deviation trigger uses the same per-pair relative-change
+// statistic as the §3 trace analytics (internal/analysis), and the
+// manager keeps an analysis.Replay of the active plan's fingerprint at
+// every check, so the live loop's recomputation rate can be read with
+// the very machinery that produced Figure 1b.
+//
+// # Trigger policy
+//
+// Every CheckEvery seconds the manager aggregates the offered demand
+// of the controller's managed flows into a live matrix and compares it
+// per pair against the planned baseline. A replan fires when the
+// fraction of pairs whose relative change is at least Deviation
+// reaches Spread — but only if the trigger is armed (hysteresis: after
+// firing it re-arms once the spread falls below Hysteresis×Spread) and
+// at least MinInterval has passed since the last replan.
+//
+// # Swap state machine
+//
+//	Idle ──trigger──▶ Replanning ──stage──▶ Swapping ──all retired──▶ Idle
+//	                      │                    (gates: validity,
+//	                      └──error/reject──▶ Idle  fingerprint, power)
+//
+// Replanning runs the planner (in a goroutine under Background, with
+// cancellation; otherwise inline with a modeled ReplanLatency before
+// staging). Staging re-checks drift against the trigger snapshot — a
+// result the demand has already moved past is abandoned (Superseded)
+// and the replan restarts from a fresh snapshot. A staged plan is
+// serialized and re-read as a PR 2 plan artifact, then gated: invalid
+// tables or a round-trip mismatch reject it, an unchanged fingerprint
+// makes it a no-op (the paper's common case), and a plan strictly
+// worse in power under the live matrix is rejected. Only then does the
+// swap begin: the new always-on set is pinned (waking its sleeping
+// links), and every managed flow whose installed levels differ under
+// the new plan is retargeted through te.Controller.Retarget — traffic
+// keeps flowing on the old tables until each new always-on path
+// forwards, then demand hands over atomically and the old flow drains
+// and retires.
+//
+// # Rollback rules
+//
+// A pair absent from (or unroutable in) the staged plan keeps its old
+// tables — its flows are not retargeted and keep forwarding (counted
+// in KeptPairs). A replan error (infeasible, canceled) returns the
+// manager to Idle with the old plan and baseline intact, so the next
+// deviation check can try again after MinInterval. Mid-swap link
+// failures are handled by the controller's ordinary failure machinery
+// on whichever tables the flow holds at that instant.
+package lifecycle
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+
+	"response"
+	"response/internal/analysis"
+	"response/internal/power"
+	"response/internal/sim"
+	"response/internal/stats"
+	"response/internal/te"
+	"response/internal/topo"
+	"response/internal/trace"
+	"response/internal/traffic"
+)
+
+// State is the manager's lifecycle state.
+type State uint8
+
+// Lifecycle states.
+const (
+	// StateIdle: monitoring only; the installed plan is considered
+	// current.
+	StateIdle State = iota
+	// StateReplanning: a replan is in flight (inline latency window or
+	// background goroutine); its result has not been staged yet.
+	StateReplanning
+	// StateSwapping: a staged plan passed the gates and its table
+	// hot-swap is in progress; old flows are draining.
+	StateSwapping
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateReplanning:
+		return "replanning"
+	case StateSwapping:
+		return "swapping"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// ReplanFunc computes a fresh plan for the live demand matrix. It runs
+// off the simulator's hot path (in its own goroutine under
+// Opts.Background) and must honor ctx cancellation — the public
+// response.Planner does.
+type ReplanFunc func(ctx context.Context, live *traffic.Matrix) (*response.Plan, error)
+
+// Opts parameterizes a Manager.
+type Opts struct {
+	// CheckEvery is the monitor cadence in simulated seconds (default
+	// 900, the GÉANT trace interval).
+	CheckEvery float64
+	// Deviation is the per-pair relative demand change that counts a
+	// pair as deviating (default 0.2 = 20%).
+	Deviation float64
+	// Spread is the fraction of planned pairs that must deviate to
+	// fire a replan (default 0.25).
+	Spread float64
+	// Hysteresis re-arms the trigger only once the deviating fraction
+	// falls below Hysteresis×Spread (default 0.5). After a completed
+	// replan the baseline resets to the trigger snapshot, so ordinary
+	// drift re-arms within a check or two; the band exists so demand
+	// hovering just under the trigger level cannot fire back-to-back
+	// replans.
+	Hysteresis float64
+	// MinInterval is the minimum simulated time between replans
+	// (default 1800 s — bounding the recomputation rate the paper
+	// measures at ~4/hour).
+	MinInterval float64
+	// ReplanLatency models the off-hot-path compute+deploy delay in
+	// simulated seconds before an inline replan's result is staged
+	// (default 60). Ignored under Background, where wall-clock compute
+	// time takes its place.
+	ReplanLatency float64
+	// Background runs ReplanFunc in its own goroutine with a
+	// cancellable context; the result is staged at the first check
+	// after it completes. Completion timing then depends on wall-clock
+	// speed, so runs are no longer seed-deterministic — the default
+	// (inline + ReplanLatency) keeps the replay pinnable.
+	Background bool
+	// DrainGrace is how long retired flows keep their (idle) old
+	// tables installed after handoff (default: the controller period).
+	DrainGrace float64
+	// Model prices elements for the power gate (default Cisco12000).
+	Model response.PowerModel
+	// MaxUtil is the utilization ceiling used by the power-gate
+	// evaluation (default 0.9, the controller's activation threshold).
+	MaxUtil float64
+	// NoPowerGate disables the strictly-worse-in-power rejection.
+	NoPowerGate bool
+	// Events, when non-nil, receives the lifecycle transition trace
+	// (span "lifecycle": check/trigger/replan/stage/swap/...).
+	Events *trace.EventWriter
+	// OnSwap, when non-nil, runs at each migrated flow's demand
+	// handoff; applications that hold *Flow references re-point them
+	// here.
+	OnSwap func(old, new *sim.Flow)
+}
+
+func (o *Opts) defaults(c *te.Controller) {
+	if o.CheckEvery == 0 {
+		o.CheckEvery = 900
+	}
+	if o.Deviation == 0 {
+		o.Deviation = 0.2
+	}
+	if o.Spread == 0 {
+		o.Spread = 0.25
+	}
+	if o.Hysteresis == 0 {
+		o.Hysteresis = 0.5
+	}
+	if o.MinInterval == 0 {
+		o.MinInterval = 1800
+	}
+	if o.ReplanLatency == 0 {
+		o.ReplanLatency = 60
+	}
+	if o.DrainGrace == 0 {
+		o.DrainGrace = c.Period()
+	}
+	if o.Model == nil {
+		o.Model = power.Cisco12000{}
+	}
+	if o.MaxUtil == 0 {
+		o.MaxUtil = 0.9
+	}
+}
+
+// Metrics are the manager's cumulative counters.
+type Metrics struct {
+	// Checks counts monitor ticks; LastDeviation is the deviating-pair
+	// fraction observed at the latest one.
+	Checks        int
+	LastDeviation float64
+	// Triggers counts replans fired by the deviation policy; Replans
+	// counts completed replan computations (triggered or forced).
+	Triggers int
+	Replans  int
+	// Superseded counts replan results abandoned because demand had
+	// already drifted past the trigger snapshot when they completed.
+	Superseded int
+	// Failures counts replan errors (infeasible, canceled, ...).
+	Failures int
+	// RejectedInvalid counts staged plans failing structural
+	// validation or the artifact round trip; RejectedPower counts
+	// plans strictly worse in power under the live matrix.
+	RejectedInvalid int
+	RejectedPower   int
+	// Unchanged counts replans whose tables fingerprint-matched the
+	// installed plan — recomputation without redeployment, the paper's
+	// common case.
+	Unchanged int
+	// Swaps counts hot-swaps begun; SwapsDone counts swaps fully
+	// drained; MigratedFlows counts flows retargeted across all swaps.
+	Swaps         int
+	SwapsDone     int
+	MigratedFlows int
+	// KeptPairs counts managed pairs that retained their old tables
+	// across swaps because the staged plan had no (usable) entry for
+	// them — the rollback rule.
+	KeptPairs int
+}
+
+// Manager is the plan lifecycle manager: monitor, replanner and
+// hot-swapper over one simulator/controller pair. Drive it entirely
+// from the simulator's event loop (it schedules itself); it is not
+// safe for concurrent use except for the background replan goroutine
+// it owns.
+type Manager struct {
+	s      *sim.Simulator
+	c      *te.Controller
+	replan ReplanFunc
+	opts   Opts
+
+	current *response.Plan
+	planned *traffic.Matrix // demand baseline of the current plan
+	trigger *traffic.Matrix // live snapshot at the last trigger
+
+	state         State
+	armed         bool
+	stopped       bool
+	lastReplanAt  float64
+	pendingRetire int
+	lastMigrated  int // flows migrated by the in-progress/last swap
+	artifact      []byte
+
+	cancel   context.CancelFunc
+	resultCh chan replanOutcome
+
+	hist analysis.Replay
+	met  Metrics
+
+	// reusable scratch for the per-check deviation computation
+	live   *traffic.Matrix
+	series traffic.Series
+}
+
+type replanOutcome struct {
+	plan *response.Plan
+	err  error
+}
+
+// New builds a manager over a running simulator/controller pair.
+// current is the installed plan; replan computes candidate
+// replacements. Call Start once flows are managed and their initial
+// demands set — the live matrix at that point becomes the planned
+// baseline.
+func New(s *sim.Simulator, c *te.Controller, current *response.Plan, replan ReplanFunc, opts Opts) *Manager {
+	opts.defaults(c)
+	m := &Manager{
+		s:       s,
+		c:       c,
+		replan:  replan,
+		opts:    opts,
+		current: current,
+		armed:   true,
+		state:   StateIdle,
+		live:    traffic.NewMatrix(),
+		series:  traffic.Series{Matrices: make([]*traffic.Matrix, 0, 2)},
+	}
+	m.lastReplanAt = math.Inf(-1)
+	m.resultCh = make(chan replanOutcome, 1)
+	m.hist.IntervalSec = opts.CheckEvery
+	return m
+}
+
+// Start captures the planned-demand baseline from the currently
+// managed flows and begins periodic deviation checks.
+func (m *Manager) Start() {
+	m.buildLive()
+	m.planned = m.live.Clone()
+	var tick func()
+	tick = func() {
+		if m.stopped {
+			return
+		}
+		m.check()
+		m.s.After(m.opts.CheckEvery, tick)
+	}
+	m.s.After(m.opts.CheckEvery, tick)
+}
+
+// Stop halts monitoring and cancels any in-flight background replan.
+func (m *Manager) Stop() {
+	m.stopped = true
+	if m.cancel != nil {
+		m.cancel()
+		m.cancel = nil
+	}
+}
+
+// State returns the current lifecycle state.
+func (m *Manager) State() State { return m.state }
+
+// Metrics returns a snapshot of the cumulative counters.
+func (m *Manager) Metrics() Metrics { return m.met }
+
+// CurrentPlan returns the installed plan (the staged one as soon as a
+// swap begins).
+func (m *Manager) CurrentPlan() *response.Plan { return m.current }
+
+// StagedArtifact returns the serialized plan artifact of the most
+// recently staged plan (nil before the first successful staging). The
+// bytes are the exact PR 2 versioned artifact a deployment would ship.
+func (m *Manager) StagedArtifact() []byte { return m.artifact }
+
+// History returns the per-check record of the active plan's tables
+// fingerprint as an analysis.Replay, so Recomputations and RatePerHour
+// read the live loop with the Figure 1b machinery.
+func (m *Manager) History() *analysis.Replay { return &m.hist }
+
+// buildLive aggregates managed-flow offered demand into m.live,
+// reusing its storage.
+func (m *Manager) buildLive() {
+	m.live.Reset()
+	m.c.EachManaged(func(f *sim.Flow) {
+		if f.Demand > 0 {
+			m.live.Add(f.O, f.D, f.Demand)
+		}
+	})
+}
+
+// deviation returns the fraction of pairs whose relative demand change
+// from base to cur is at least Deviation — the §3 per-pair deviation
+// statistic reduced to one trigger number. Pairs carrying live demand
+// with no baseline entry (traffic that appeared after the plan) are
+// infinitely deviated: PerFlowChanges cannot see them, so they are
+// counted explicitly.
+func (m *Manager) deviation(base, cur *traffic.Matrix) float64 {
+	m.series.Matrices = append(m.series.Matrices[:0], base, cur)
+	changes := traffic.PerFlowChanges(&m.series)
+	deviating := stats.FractionAtLeast(changes, 100*m.opts.Deviation) * float64(len(changes))
+	total := len(changes)
+	for _, d := range cur.Demands() {
+		if base.Rate(d.O, d.D) <= 0 {
+			deviating++
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return deviating / float64(total)
+}
+
+// check is one monitor tick.
+func (m *Manager) check() {
+	m.met.Checks++
+	m.buildLive()
+	dev := m.deviation(m.planned, m.live)
+	m.met.LastDeviation = dev
+	m.hist.Fingerprints = append(m.hist.Fingerprints, m.current.Fingerprint())
+	m.opts.Events.Emit(m.s.Now(), "lifecycle", "check", -1, -1, -1, dev)
+
+	switch m.state {
+	case StateSwapping:
+		return // drain in progress; nothing to decide
+	case StateReplanning:
+		if !m.opts.Background {
+			return // inline result is already scheduled to stage
+		}
+		select {
+		case r := <-m.resultCh:
+			m.cancel = nil
+			m.stage(r.plan, r.err)
+		default:
+		}
+	case StateIdle:
+		if !m.armed {
+			if dev < m.opts.Spread*m.opts.Hysteresis {
+				m.armed = true
+			}
+			return
+		}
+		if dev >= m.opts.Spread && m.s.Now()-m.lastReplanAt >= m.opts.MinInterval {
+			m.fire()
+		}
+	}
+}
+
+// fire begins a replan from the current live matrix.
+func (m *Manager) fire() {
+	m.met.Triggers++
+	m.armed = false
+	m.lastReplanAt = m.s.Now()
+	m.trigger = m.live.Clone()
+	m.state = StateReplanning
+	m.opts.Events.Emit(m.s.Now(), "lifecycle", "trigger", -1, -1, -1, m.met.LastDeviation)
+	if m.opts.Background {
+		ctx, cancel := context.WithCancel(context.Background())
+		m.cancel = cancel
+		snapshot := m.trigger
+		go func() {
+			p, err := m.replan(ctx, snapshot)
+			m.resultCh <- replanOutcome{plan: p, err: err}
+		}()
+		return
+	}
+	// Inline: compute now (the snapshot is the demand at trigger
+	// time), stage after the modeled background latency.
+	p, err := m.replan(context.Background(), m.trigger)
+	m.s.After(m.opts.ReplanLatency, func() { m.stage(p, err) })
+}
+
+// stage receives a completed replan and runs the gate sequence.
+func (m *Manager) stage(p *response.Plan, err error) {
+	m.met.Replans++
+	m.state = StateIdle
+	if err != nil {
+		m.met.Failures++
+		// Old plan and baseline stay; re-arm so the still-deviating
+		// demand can retry once MinInterval has passed.
+		m.armed = true
+		m.opts.Events.Emit(m.s.Now(), "lifecycle", "replan-error", -1, -1, -1, 0)
+		return
+	}
+	// Superseded? If demand has drifted past the trigger snapshot as
+	// far as the drift that fired it, the result is stale: abandon it
+	// and re-arm — the baseline is untouched, so the still-deviating
+	// demand restarts the replan from a fresh snapshot at the first
+	// check MinInterval allows (the rate bound holds even under a
+	// sustained ramp that supersedes every result).
+	m.buildLive()
+	if m.deviation(m.trigger, m.live) >= m.opts.Spread {
+		m.met.Superseded++
+		m.armed = true
+		m.opts.Events.Emit(m.s.Now(), "lifecycle", "superseded", -1, -1, -1, 0)
+		return
+	}
+	m.gateAndSwap(p)
+}
+
+// StageAndSwap force-stages an externally computed plan through the
+// same gate sequence and hot-swap as a triggered replan — the operator
+// override. It is only legal while the manager is idle.
+func (m *Manager) StageAndSwap(p *response.Plan) error {
+	if m.state != StateIdle {
+		return fmt.Errorf("lifecycle: cannot stage in state %v", m.state)
+	}
+	if p == nil {
+		return fmt.Errorf("lifecycle: nil plan")
+	}
+	m.met.Replans++
+	m.buildLive()
+	m.trigger = m.live.Clone()
+	m.gateAndSwap(p)
+	return nil
+}
+
+// gateAndSwap runs the stage gates and, if they pass, begins the swap.
+func (m *Manager) gateAndSwap(p *response.Plan) {
+	now := m.s.Now()
+	if p.Topology() != m.s.T || p.Tables().Validate() != nil {
+		m.met.RejectedInvalid++
+		m.opts.Events.Emit(now, "lifecycle", "reject-invalid", -1, -1, -1, 0)
+		return
+	}
+	if p.Fingerprint() == m.current.Fingerprint() {
+		// Recomputation confirmed the installed tables: adopt the
+		// fresher baseline, deploy nothing.
+		m.met.Unchanged++
+		m.adoptBaseline()
+		m.opts.Events.Emit(now, "lifecycle", "unchanged", -1, -1, -1, 0)
+		return
+	}
+	// Stage as a versioned plan artifact and verify the round trip:
+	// what would ship is what was gated.
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		m.met.RejectedInvalid++
+		m.opts.Events.Emit(now, "lifecycle", "reject-invalid", -1, -1, -1, 0)
+		return
+	}
+	loaded, err := response.ReadPlanFrom(bytes.NewReader(buf.Bytes()), p.Topology())
+	if err != nil || loaded.Fingerprint() != p.Fingerprint() {
+		m.met.RejectedInvalid++
+		m.opts.Events.Emit(now, "lifecycle", "reject-invalid", -1, -1, -1, 0)
+		return
+	}
+	m.artifact = buf.Bytes()
+	if !m.opts.NoPowerGate {
+		cur := m.current.Evaluate(m.live, m.opts.Model, m.opts.MaxUtil)
+		cand := p.Evaluate(m.live, m.opts.Model, m.opts.MaxUtil)
+		if cand.Watts > cur.Watts+1e-6 {
+			m.met.RejectedPower++
+			m.adoptBaseline()
+			m.opts.Events.Emit(now, "lifecycle", "reject-power", -1, -1, -1, cand.Watts-cur.Watts)
+			return
+		}
+	}
+	m.opts.Events.Emit(now, "lifecycle", "stage", -1, -1, -1, float64(len(m.artifact)))
+	m.beginSwap(p)
+}
+
+// pairDecision caches the per-pair migrate/keep choice during a swap.
+type pairDecision struct {
+	migrate bool
+	levels  []topo.Path
+}
+
+// beginSwap hot-swaps the staged plan into the running controller.
+// Only flows whose installed levels actually change are touched, so
+// swap cost — time and allocations — is proportional to the migrated
+// set, not the flow universe.
+func (m *Manager) beginSwap(p *response.Plan) {
+	m.state = StateSwapping
+	m.met.Swaps++
+	m.opts.Events.Emit(m.s.Now(), "lifecycle", "swap", -1, -1, -1, 0)
+	m.s.SetPinnedOn(p.AlwaysOnSet())
+	decisions := make(map[[2]topo.NodeID]pairDecision)
+	migrated := 0
+	ropts := te.RetargetOpts{
+		DrainGrace: m.opts.DrainGrace,
+		OnHandoff:  m.opts.OnSwap,
+		OnRetire:   m.flowRetired,
+	}
+	m.c.EachManaged(func(f *sim.Flow) {
+		key := [2]topo.NodeID{f.O, f.D}
+		dec, ok := decisions[key]
+		if !ok {
+			if ps, have := p.PathSet(f.O, f.D); have {
+				levels := ps.Levels()
+				if !sameLevels(f.Paths, levels) {
+					dec = pairDecision{migrate: true, levels: levels}
+				}
+			} else {
+				m.met.KeptPairs++ // rollback rule: no entry, keep old tables
+			}
+			decisions[key] = dec
+		}
+		if !dec.migrate {
+			return
+		}
+		nf, err := m.c.Retarget(f, dec.levels, ropts)
+		if err != nil || nf == nil {
+			// Unroutable under the new plan: rollback rule — this
+			// flow keeps its old tables.
+			dec.migrate = false
+			decisions[key] = dec
+			m.met.KeptPairs++
+			return
+		}
+		m.pendingRetire++
+		migrated++
+	})
+	m.met.MigratedFlows += migrated
+	m.lastMigrated = migrated
+	m.current = p
+	m.adoptBaseline()
+	if m.pendingRetire == 0 {
+		m.swapDone()
+	}
+}
+
+// flowRetired is the per-flow drain completion callback.
+func (m *Manager) flowRetired(old, new *sim.Flow) {
+	m.pendingRetire--
+	if m.pendingRetire == 0 && m.state == StateSwapping {
+		m.swapDone()
+	}
+}
+
+func (m *Manager) swapDone() {
+	m.state = StateIdle
+	m.met.SwapsDone++
+	m.opts.Events.Emit(m.s.Now(), "lifecycle", "swap-done", -1, -1, -1, float64(m.lastMigrated))
+}
+
+// adoptBaseline makes the trigger-time snapshot the planned baseline.
+func (m *Manager) adoptBaseline() {
+	if m.trigger != nil {
+		m.planned = m.trigger
+	}
+}
+
+// sameLevels reports whether two level lists install identical paths.
+func sameLevels(a, b []topo.Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}

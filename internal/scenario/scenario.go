@@ -12,18 +12,22 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"math/rand"
 	"sort"
 
+	"response"
 	"response/internal/core"
+	"response/internal/lifecycle"
 	"response/internal/mcf"
 	"response/internal/power"
 	"response/internal/sim"
 	"response/internal/te"
 	"response/internal/topo"
+	"response/internal/trace"
 	"response/internal/traffic"
 )
 
@@ -62,6 +66,21 @@ type Config struct {
 	StormLinks  int
 	RepairAfter float64
 	RepairEvery float64
+
+	// Lifecycle replanning (the replan scenario): when ReplanDeviation
+	// is > 0 a lifecycle.Manager monitors per-pair drift against the
+	// plan-time matrix and hot-swaps freshly replanned tables into the
+	// running controller mid-replay, with the deviation-triggered
+	// policy of paper §2/§3.
+	ReplanDeviation float64 // per-pair relative change counting as deviating
+	ReplanSpread    float64 // deviating-pair fraction that fires (default 0.25)
+	ReplanCheck     float64 // monitor cadence (default StepSec)
+	ReplanMinGap    float64 // min seconds between replans (default 2×StepSec)
+	ReplanLatency   float64 // modeled background compute+deploy (default 60)
+
+	// Events, when non-nil, receives the opt-in JSONL event trace of
+	// controller decisions and lifecycle transitions.
+	Events *trace.EventWriter
 
 	// Period is the controller probe period (default 60 s — at replay
 	// scale, probing at the paper's max-RTT period would dominate the
@@ -107,6 +126,12 @@ type Result struct {
 
 	// MaxUtil is the worst arc utilization observed at any demand step.
 	MaxUtil float64
+
+	// Lifecycle counters (the replan scenario): completed replan
+	// computations, fully drained hot swaps, and flows migrated.
+	Replans       int
+	Swaps         int
+	MigratedFlows int
 	// DeliveredBytes / OfferedBytes measure how much of the offered
 	// load the runtime carried.
 	DeliveredBytes float64
@@ -135,6 +160,10 @@ func (r Result) Print(w io.Writer) {
 	if r.Failed > 0 || r.Repaired > 0 {
 		fmt.Fprintf(w, "  links failed %d, repaired %d\n", r.Failed, r.Repaired)
 	}
+	if r.Replans > 0 || r.Swaps > 0 {
+		fmt.Fprintf(w, "  replans %d, hot swaps %d, flows migrated %d\n",
+			r.Replans, r.Swaps, r.MigratedFlows)
+	}
 	if r.AvgPowerPct > 0 {
 		fmt.Fprintf(w, "  mean power %.1f%% of all-on\n", r.AvgPowerPct)
 	}
@@ -142,7 +171,9 @@ func (r Result) Print(w io.Writer) {
 }
 
 // Names lists the runnable scenario presets.
-func Names() []string { return []string{"diurnal", "flash", "storm", "repair", "click"} }
+func Names() []string {
+	return []string{"diurnal", "flash", "storm", "repair", "click", "replan"}
+}
 
 // Run executes a named scenario preset.
 func Run(name string, cfg Config) (Result, error) {
@@ -184,6 +215,12 @@ func Run(name string, cfg Config) (Result, error) {
 		}
 	case "click":
 		return ClickFailover(cfg)
+	case "replan":
+		// Diurnal drift past the deviation threshold, background
+		// replan, table hot-swap mid-replay.
+		if cfg.ReplanDeviation == 0 {
+			cfg.ReplanDeviation = 0.2
+		}
 	default:
 		return Result{}, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, Names())
 	}
@@ -204,12 +241,21 @@ type Replay struct {
 	Topo *topo.Topology
 	Sim  *sim.Simulator
 	Ctrl *te.Controller
+	// Mgr is the plan lifecycle manager (nil unless the replan
+	// scenario enabled it with Config.ReplanDeviation > 0).
+	Mgr *lifecycle.Manager
 
 	cfg   Config
 	flows []*sim.Flow
 	base  []float64 // per-flow peak demand
 	phase []float64 // per-flow diurnal phase jitter
 	flash []bool    // flash-crowd membership
+
+	// idx maps a live flow ID to its slot in flows, so lifecycle
+	// hot-swaps can re-point the slot to the replacement flow (only
+	// populated when the lifecycle manager is attached).
+	idx          map[int]int
+	retiredBytes float64 // delivered bytes of flows retired by swaps
 
 	stormOrder []topo.LinkID
 	stormDone  bool
@@ -243,10 +289,15 @@ func NewGeantDiurnal(cfg Config) (*Replay, error) {
 	base := traffic.Gravity(g, traffic.GravityOpts{Nodes: endpoints, TotalRate: 1})
 	maxScale := mcf.MaxFeasibleScale(g, base, mcf.RouteOpts{}, 0.05)
 	peak := base.Scale(maxScale * cfg.PeakUtil)
-	tables, err := core.Plan(g, core.PlanOpts{Model: model, Nodes: endpoints})
+	// Plan through the public facade (identical tables to core.Plan)
+	// so the lifecycle manager can stage replacements as versioned
+	// plan artifacts.
+	planner := response.NewPlanner(response.WithEndpoints(endpoints))
+	plan, err := planner.Plan(context.Background(), g)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: plan: %w", err)
 	}
+	tables := plan.Tables()
 
 	simOpts := sim.Opts{
 		WakeUpDelay:    5, // §5.3's upper bound for existing ISP hardware
@@ -258,7 +309,7 @@ func NewGeantDiurnal(cfg Config) (*Replay, error) {
 		simOpts.Model = model
 	}
 	s := sim.New(g, simOpts)
-	ctrl := te.NewController(s, te.Opts{Threshold: 0.9, Gamma: 0.5, Period: cfg.Period})
+	ctrl := te.NewController(s, te.Opts{Threshold: 0.9, Gamma: 0.5, Period: cfg.Period, Events: cfg.Events})
 
 	r := &Replay{Topo: g, Sim: s, Ctrl: ctrl, cfg: cfg}
 	demands := peak.Demands()
@@ -310,7 +361,52 @@ func NewGeantDiurnal(cfg Config) (*Replay, error) {
 	}
 	r.applyDemands(0)
 	ctrl.Start()
+	if cfg.ReplanDeviation > 0 {
+		r.idx = make(map[int]int, len(r.flows))
+		for i, f := range r.flows {
+			r.idx[f.ID] = i
+		}
+		// Replans are demand-aware: the live matrix replaces the
+		// ε-demand as d_low, so drifted traffic reshapes the always-on
+		// assignment and a genuinely different plan can stage.
+		replan := func(ctx context.Context, live *traffic.Matrix) (*response.Plan, error) {
+			return planner.Plan(ctx, g, response.WithLowMatrix(live))
+		}
+		check := cfg.ReplanCheck
+		if check == 0 {
+			check = cfg.StepSec
+		}
+		minGap := cfg.ReplanMinGap
+		if minGap == 0 {
+			minGap = 2 * cfg.StepSec
+		}
+		r.Mgr = lifecycle.New(s, ctrl, plan, replan, lifecycle.Opts{
+			CheckEvery:    check,
+			Deviation:     cfg.ReplanDeviation,
+			Spread:        cfg.ReplanSpread,
+			MinInterval:   minGap,
+			ReplanLatency: cfg.ReplanLatency,
+			Model:         model,
+			Events:        cfg.Events,
+			OnSwap:        r.flowSwapped,
+		})
+		r.Mgr.Start()
+	}
 	return r, nil
+}
+
+// flowSwapped re-points a replay slot from a retired flow to its
+// hot-swap replacement at the demand handoff, folding the retired
+// flow's delivered bytes into the scenario totals.
+func (r *Replay) flowSwapped(old, nf *sim.Flow) {
+	i, ok := r.idx[old.ID]
+	if !ok {
+		return
+	}
+	r.retiredBytes += r.Sim.Bytes(old)
+	delete(r.idx, old.ID)
+	r.idx[nf.ID] = i
+	r.flows[i] = nf
 }
 
 // StormLinks returns the seeded storm link selection (empty unless
@@ -398,7 +494,7 @@ func (r *Replay) Finish() Result {
 	r.offered += r.offeredRate * (r.start - r.lastCharge) / 8
 	r.lastCharge = r.start
 	r.observeUtil() // the final interval has no closing step event
-	var delivered float64
+	delivered := r.retiredBytes
 	for _, f := range r.flows {
 		delivered += r.Sim.Bytes(f)
 	}
@@ -415,6 +511,12 @@ func (r *Replay) Finish() Result {
 		OfferedBytes:   r.offered,
 		Failed:         r.failed,
 		Repaired:       r.repaired,
+	}
+	if r.Mgr != nil {
+		lm := r.Mgr.Metrics()
+		res.Replans = lm.Replans
+		res.Swaps = lm.SwapsDone
+		res.MigratedFlows = lm.MigratedFlows
 	}
 	if m := r.Sim.Meter(); m != nil && r.start > 0 {
 		joules := m.Finish(r.start)

@@ -3,6 +3,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"math"
 
 	"response/internal/power"
 	"response/internal/topo"
@@ -337,26 +338,30 @@ func (s *Simulator) setLinkPhase(l topo.LinkID, p LinkPhase) {
 func (s *Simulator) RequestWake(p topo.Path) float64 {
 	ready := s.now
 	for _, aid := range p.Arcs {
-		l := s.T.Arc(aid).Link
-		switch s.phase[l] {
-		case LinkSleeping:
-			s.setLinkPhase(l, LinkWaking)
-			done := s.now + s.opts.WakeUpDelay
-			s.wakeAt[l] = done
-			id := l
-			s.Schedule(done, func() { s.completeWake(id) })
-			if done > ready {
-				ready = done
-			}
-		case LinkWaking:
-			// A wake is already in flight: it completes at the
-			// recorded deadline, not a full WakeUpDelay from now.
-			if s.wakeAt[l] > ready {
-				ready = s.wakeAt[l]
-			}
+		if done := s.wakeLink(s.T.Arc(aid).Link); done > ready {
+			ready = done
 		}
 	}
 	return ready
+}
+
+// wakeLink starts waking one link if it sleeps and returns the time it
+// will forward (now if it already does, or the in-flight wake deadline).
+func (s *Simulator) wakeLink(l topo.LinkID) float64 {
+	switch s.phase[l] {
+	case LinkSleeping:
+		s.setLinkPhase(l, LinkWaking)
+		done := s.now + s.opts.WakeUpDelay
+		s.wakeAt[l] = done
+		id := l
+		s.Schedule(done, func() { s.completeWake(id) })
+		return done
+	case LinkWaking:
+		// A wake is already in flight: it completes at the recorded
+		// deadline, not a full WakeUpDelay from now.
+		return s.wakeAt[l]
+	}
+	return s.now
 }
 
 func (s *Simulator) completeWake(l topo.LinkID) {
@@ -424,6 +429,29 @@ func (s *Simulator) FlowsOnLink(l topo.LinkID, yield func(f *Flow, level int)) {
 // pinned reports whether a link belongs to the never-sleep set.
 func (s *Simulator) pinned(l topo.LinkID) bool {
 	return s.opts.PinnedOn != nil && s.opts.PinnedOn.Link[l]
+}
+
+// SetPinnedOn replaces the never-sleep element set while the simulation
+// runs — the hot-swap path for a new plan's always-on set. Newly pinned
+// links are woken if asleep (an always-on path must be able to forward
+// before traffic is handed to it); links leaving the pinned set become
+// eligible to sleep again and get an idle check booked. Cost is
+// O(links), independent of the flow universe, and allocation-free.
+func (s *Simulator) SetPinnedOn(a *topo.ActiveSet) {
+	old := s.opts.PinnedOn
+	s.opts.PinnedOn = a
+	for _, l := range s.T.Links() {
+		was := old != nil && old.Link[l.ID]
+		now := a != nil && a.Link[l.ID]
+		if was == now {
+			continue
+		}
+		if now {
+			s.wakeLink(l.ID)
+		} else if s.phase[l.ID] == LinkActive && s.LinkCarried(l.ID) <= 1e-9 {
+			s.scheduleSleepCheck(l.ID, s.lastBusy[l.ID]+s.opts.SleepAfterIdle)
+		}
+	}
 }
 
 // initialSleepChecks books the first idle check for every link; after
@@ -577,6 +605,32 @@ func (s *Simulator) RateSamples(id int) []Sample {
 		return nil
 	}
 	return r.snapshot()
+}
+
+// StateFingerprint hashes the simulator's externally observable
+// steady state — every arc's carried load quantized to 1 bit/s plus
+// every link's phase — into one FNV-1a value. Unlike the controller's
+// action fingerprint it is independent of flow identities and history,
+// so a runtime that hot-swapped to a plan can be compared against one
+// started fresh on it: once both settle, equal traffic placement means
+// equal fingerprints.
+func (s *Simulator) StateFingerprint() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(x uint64) {
+		h ^= x
+		h *= prime
+	}
+	for _, load := range s.arcLoad {
+		mix(uint64(int64(math.Round(load))))
+	}
+	for _, p := range s.phase {
+		mix(uint64(p))
+	}
+	return h
 }
 
 // MaxArcUtil returns the current worst arc utilization.

@@ -23,6 +23,7 @@ import (
 
 	"response/internal/sim"
 	"response/internal/topo"
+	"response/internal/trace"
 )
 
 // Opts parameterizes the controller.
@@ -43,6 +44,10 @@ type Opts struct {
 	// ProbeDelay, when true (default), delays utilization feedback by
 	// the probed path's RTT, as a real probe packet would.
 	NoProbeDelay bool
+	// Events, when non-nil, receives a JSONL trace of every controller
+	// action (probe rounds, shifts, wakes, evacuations, retargets). Off
+	// by default; when off the only cost is a nil check per action.
+	Events *trace.EventWriter
 }
 
 func (o *Opts) defaults(t *topo.Topology) {
@@ -75,7 +80,13 @@ const (
 	opShift = iota + 1
 	opWake
 	opEvacuate
+	opRetarget
+	opHandoff
+	opRetire
 )
+
+// opNames indexes the trace op label by action code.
+var opNames = [...]string{"", "shift", "wake", "evacuate", "retarget", "handoff", "retire"}
 
 // Controller drives share decisions for the flows it manages.
 type Controller struct {
@@ -90,6 +101,15 @@ type Controller struct {
 	// the failure handler and the probe backstop cannot double-book
 	// the same move.
 	pendingEvac []uint32
+	// pendingEvacs counts set pendingEvac bits: evacuation closures
+	// capture slot indices, so the slot table must not compact while
+	// any are outstanding.
+	pendingEvacs int
+	// deadManaged counts retired flows still occupying slots; once
+	// they outnumber live ones (and nothing in flight pins the slot
+	// layout) the slot table is compacted, so sustained swap churn
+	// keeps per-round walks and memory O(live flows).
+	deadManaged int
 
 	wheel probeWheel
 
@@ -101,6 +121,8 @@ type Controller struct {
 	Shifts int
 	// Wakes counts wake-ups requested.
 	Wakes int
+	// Retargets counts table hot-swaps begun (Retarget calls).
+	Retargets int
 }
 
 // NewController builds a controller over a simulator.
@@ -114,8 +136,9 @@ func NewController(s *sim.Simulator, opts Opts) *Controller {
 // Period returns the effective probe period T.
 func (c *Controller) Period() float64 { return c.opts.Period }
 
-// Fingerprint returns the FNV-1a hash of the (shift, wake, evacuate)
-// action sequence so far: a compact behavioral fingerprint of the run.
+// Fingerprint returns the FNV-1a hash of the action sequence so far —
+// shifts, wakes, evacuations, and the retarget/handoff/retire steps of
+// table hot-swaps: a compact behavioral fingerprint of the run.
 func (c *Controller) Fingerprint() uint64 { return c.fp }
 
 // record folds one action into the behavioral fingerprint. frac is
@@ -131,6 +154,7 @@ func (c *Controller) record(op int, flow, from, to int, frac float64) {
 		h *= fnvPrime
 	}
 	c.fp = h
+	c.opts.Events.Emit(c.s.Now(), "te", opNames[op], flow, from, to, frac)
 }
 
 // Manage registers a flow with the controller. The flow's Paths must be
@@ -179,6 +203,20 @@ func (c *Controller) DecideOnce(f *sim.Flow) {
 // Flows sharing an RTT share one wheel slot: one pooled buffer, one
 // scheduled event — not a closure and a fresh slice per flow.
 func (c *Controller) probeAll() {
+	// Retired-slot majority and nothing pinning the layout (no
+	// snapshot between grab and release, no evacuation closure holding
+	// a slot index): compact the slot table.
+	if c.deadManaged > len(c.flows)-c.deadManaged &&
+		c.pendingEvacs == 0 && c.wheel.inFlight() == 0 {
+		c.compactFlows()
+	}
+	if c.opts.Events != nil {
+		probed := 0
+		for gi := range c.wheel.groups {
+			probed += len(c.wheel.groups[gi].slots)
+		}
+		c.opts.Events.Emit(c.s.Now(), "te", "probe", -1, -1, -1, float64(probed))
+	}
 	for gi := range c.wheel.groups {
 		g := &c.wheel.groups[gi]
 		if g.inFlight == 0 {
@@ -411,11 +449,13 @@ func (c *Controller) evacuate(f *sim.Flow, lvl int) {
 		return
 	}
 	c.pendingEvac[slot] |= bit
+	c.pendingEvacs++
 	ready := c.s.RequestWake(p)
 	c.Wakes++
 	c.record(opWake, f.ID, lvl, target, sh)
 	c.s.Schedule(ready, func() {
 		c.pendingEvac[slot] &^= bit // allow the backstop to retry if this move dies
+		c.pendingEvacs--
 		if c.s.PathPhase(p) == sim.LinkActive && !f.Removed() {
 			moved := f.ShareOf(lvl)
 			c.s.ShiftShare(f, lvl, target, moved)
@@ -423,4 +463,138 @@ func (c *Controller) evacuate(f *sim.Flow, lvl int) {
 			c.record(opEvacuate, f.ID, lvl, target, moved)
 		}
 	})
+}
+
+// compactFlows drops removed flows' slots from c.flows, pendingEvac,
+// the slot map and every wheel group, preserving the relative order of
+// live slots — probe order over live flows (part of the runtime's
+// deterministic behavior) is unchanged. Callers must ensure no
+// snapshot buffer or evacuation closure holds a slot index.
+func (c *Controller) compactFlows() {
+	remap := make([]int, len(c.flows))
+	kept := 0
+	for i, f := range c.flows {
+		if f.Removed() {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = kept
+		c.flows[kept] = f
+		c.pendingEvac[kept] = c.pendingEvac[i]
+		kept++
+	}
+	c.flows = c.flows[:kept]
+	c.pendingEvac = c.pendingEvac[:kept]
+	for id, s := range c.slot {
+		if ns := remap[s]; ns >= 0 {
+			c.slot[id] = ns
+		} else {
+			delete(c.slot, id) // app-removed flow never retired via Retarget
+		}
+	}
+	c.wheel.remapSlots(remap, func(slot int) int { return len(c.flows[slot].Paths) })
+	c.deadManaged = 0
+}
+
+// EachManaged calls yield for every live managed flow, in Manage order.
+// Flows already retired (or removed by the application) are skipped.
+func (c *Controller) EachManaged(yield func(f *sim.Flow)) {
+	for _, f := range c.flows {
+		if !f.Removed() {
+			yield(f)
+		}
+	}
+}
+
+// RetargetOpts parameterizes one flow's table hot-swap.
+type RetargetOpts struct {
+	// DrainGrace is how long after the demand handoff the drained old
+	// flow is kept installed before removal (its subflows idle at zero
+	// rate through the grace, so in-flight probe snapshots and failure
+	// walks still resolve it). Zero retires in the same event round.
+	DrainGrace float64
+	// OnHandoff, when non-nil, runs at the instant demand moves from
+	// the old to the new flow — the external-reference switch-over
+	// point (callers holding the old *Flow re-point to the new one).
+	OnHandoff func(old, new *sim.Flow)
+	// OnRetire, when non-nil, runs after the old flow has drained and
+	// been removed; lifecycle managers count these to detect swap
+	// completion.
+	OnRetire func(old, new *sim.Flow)
+}
+
+// Retarget hot-swaps one managed flow onto replacement tables with
+// zero traffic disruption: a fresh flow is installed over the new path
+// levels as new subflows (zero demand — it forwards nothing yet), the
+// new always-on path is woken if asleep, and once it can forward the
+// offered demand moves from the old flow to the new one in a single
+// allocation round — traffic keeps flowing over the old tables for the
+// whole wake window, the paper's reserve-capacity behavior applied to
+// table replacement. The drained old flow is retired after
+// opts.DrainGrace via the simulator's removal machinery.
+//
+// The returned flow is the replacement; the old flow stays valid (and
+// carries all traffic) until the handoff. Retarget, handoff and retire
+// are folded into the controller's action fingerprint (with the
+// replacement flow's ID in the `to` slot), so swap sequences are as
+// pinnable as shift sequences.
+//
+// Cost note: the controller compacts its own slot table under churn,
+// but the simulator retains a retired flow's Flow struct and flat
+// subflow slots for the simulation's lifetime (sim IDs are stable; see
+// RemoveFlow) — a few dozen bytes per retired level per swap.
+func (c *Controller) Retarget(f *sim.Flow, paths []topo.Path, opts RetargetOpts) (*sim.Flow, error) {
+	nf, err := c.s.AddFlow(f.O, f.D, 0, paths)
+	if err != nil {
+		return nil, err
+	}
+	c.Manage(nf)
+	c.Retargets++
+	c.record(opRetarget, f.ID, 0, nf.ID, 0)
+	retire := func() {
+		c.s.RemoveFlow(f)
+		delete(c.slot, f.ID)
+		c.deadManaged++
+		c.record(opRetire, f.ID, 0, nf.ID, 0)
+		if opts.OnRetire != nil {
+			opts.OnRetire(f, nf)
+		}
+	}
+	// Wake the new always-on path; a failed one is handed off
+	// immediately (the normal failure machinery then moves the new
+	// flow up its levels, exactly as for a fresh flow).
+	ready := c.s.Now()
+	if c.s.PathPhase(paths[0]) != sim.LinkFailed {
+		ready = c.s.RequestWake(paths[0])
+	}
+	c.s.Schedule(ready, func() {
+		if f.Removed() {
+			// The application withdrew the old flow mid-swap: there is
+			// no demand to hand over; retire bookkeeping still runs so
+			// swap completion counts stay balanced.
+			c.deadManaged++
+			c.record(opHandoff, f.ID, 0, nf.ID, 0)
+			if opts.OnRetire != nil {
+				opts.OnRetire(f, nf)
+			}
+			return
+		}
+		d := f.Demand
+		c.s.SetDemand(nf, d)
+		c.s.SetDemand(f, 0)
+		// Record the demand scaled down so record's nanoshare
+		// quantization folds whole bits/s: d itself can exceed 9.2e9,
+		// and d*1e9 would overflow int64 (an architecture-dependent
+		// conversion, which would unpin fingerprints across machines).
+		c.record(opHandoff, f.ID, 0, nf.ID, d*1e-9)
+		if opts.OnHandoff != nil {
+			opts.OnHandoff(f, nf)
+		}
+		if opts.DrainGrace <= 0 {
+			retire()
+			return
+		}
+		c.s.After(opts.DrainGrace, retire)
+	})
+	return nf, nil
 }

@@ -1,0 +1,185 @@
+package te
+
+import (
+	"math"
+	"testing"
+
+	"response/internal/sim"
+	"response/internal/topo"
+)
+
+// retargetTopo: A-B direct (the old table) plus A-C-B (the new one),
+// with a slow wake so the zero-disruption window is observable.
+func retargetTopo(t *testing.T) (*sim.Simulator, *Controller, *sim.Flow, topo.Path, topo.Path) {
+	t.Helper()
+	tp := topo.New("retarget")
+	a := tp.AddNode("A", topo.KindRouter)
+	b := tp.AddNode("B", topo.KindRouter)
+	c := tp.AddNode("C", topo.KindRouter)
+	tp.AddLink(a, b, 10*topo.Mbps, 0.01)
+	tp.AddLink(a, c, 10*topo.Mbps, 0.01)
+	tp.AddLink(c, b, 10*topo.Mbps, 0.01)
+	ab, _ := tp.ArcBetween(a, b)
+	ac, _ := tp.ArcBetween(a, c)
+	cb, _ := tp.ArcBetween(c, b)
+	old := topo.Path{Arcs: []topo.ArcID{ab}}
+	via := topo.Path{Arcs: []topo.ArcID{ac, cb}}
+	s := sim.New(tp, sim.Opts{WakeUpDelay: 1, SleepAfterIdle: 0.05})
+	ctrl := NewController(s, Opts{Threshold: 0.9, Period: 0.4})
+	f, err := s.AddFlow(a, b, 5*topo.Mbps, []topo.Path{old})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Manage(f)
+	ctrl.Start()
+	return s, ctrl, f, old, via
+}
+
+// TestRetargetZeroDisruption: during the whole wake window of the new
+// table's always-on path, traffic keeps flowing on the old table; the
+// handoff moves the full demand in one allocation round; the old flow
+// drains and retires after the grace.
+func TestRetargetZeroDisruption(t *testing.T) {
+	s, ctrl, f, _, via := retargetTopo(t)
+	s.Run(2) // the unused A-C-B path is asleep by now
+	if s.PathPhase(via) != sim.LinkSleeping {
+		t.Fatalf("new path phase = %v, want sleeping", s.PathPhase(via))
+	}
+
+	var nf *sim.Flow
+	retired := 0
+	s.Schedule(2.0, func() {
+		var err error
+		nf, err = ctrl.Retarget(f, []topo.Path{via}, RetargetOpts{
+			DrainGrace: 0.5,
+			OnRetire:   func(_, _ *sim.Flow) { retired++ },
+		})
+		if err != nil {
+			t.Errorf("retarget: %v", err)
+		}
+	})
+	// Sample the combined delivered rate through the wake window: the
+	// old flow must carry everything until the handoff instant.
+	for _, at := range []float64{2.1, 2.5, 2.9} {
+		s.Run(at)
+		if got := f.Rate() + nf.Rate(); math.Abs(got-5*topo.Mbps) > 1e3 {
+			t.Errorf("t=%.1f: combined rate = %v, want 5 Mbps", at, got)
+		}
+		if nf.Rate() > 0 {
+			t.Errorf("t=%.1f: new flow carries %v before wake completes", at, nf.Rate())
+		}
+	}
+	s.Run(3.1) // wake (1 s) completed at t=3: handoff happened
+	if math.Abs(nf.Rate()-5*topo.Mbps) > 1e3 {
+		t.Errorf("after handoff: new flow rate = %v, want 5 Mbps", nf.Rate())
+	}
+	if f.Rate() > 1e-9 || f.Demand != 0 {
+		t.Errorf("after handoff: old flow rate/demand = %v/%v, want 0/0", f.Rate(), f.Demand)
+	}
+	if f.Removed() {
+		t.Error("old flow removed before drain grace elapsed")
+	}
+	s.Run(3.6) // grace (0.5 s) elapsed
+	if !f.Removed() {
+		t.Error("old flow not retired after drain grace")
+	}
+	if retired != 1 {
+		t.Errorf("OnRetire ran %d times, want 1", retired)
+	}
+	if ctrl.Retargets != 1 {
+		t.Errorf("Retargets = %d, want 1", ctrl.Retargets)
+	}
+	// The new flow is managed: it must keep being probed without the
+	// old flow's slot breaking delivery.
+	s.Run(6)
+	if math.Abs(nf.Rate()-5*topo.Mbps) > 1e3 {
+		t.Errorf("steady state: new flow rate = %v, want 5 Mbps", nf.Rate())
+	}
+}
+
+// TestRetargetActivePathHandsOffImmediately: when the new always-on
+// path already forwards, the handoff happens in the same event round.
+func TestRetargetActivePathHandsOffImmediately(t *testing.T) {
+	s, ctrl, f, _, via := retargetTopo(t)
+	var nf *sim.Flow
+	// Every link starts active; retarget before the idle path dozes
+	// off (SleepAfterIdle is 0.05 s).
+	s.Schedule(0.01, func() {
+		nf, _ = ctrl.Retarget(f, []topo.Path{via}, RetargetOpts{})
+	})
+	s.Run(0.02)
+	if nf == nil || math.Abs(nf.Rate()-5*topo.Mbps) > 1e3 {
+		t.Fatalf("new flow not carrying after immediate handoff")
+	}
+	if !f.Removed() {
+		t.Error("old flow not retired immediately with zero grace")
+	}
+}
+
+// TestRetargetCompactsSlots: once retired flows outnumber live ones,
+// the controller compacts its slot table in a quiet probe window, so
+// sustained swap churn keeps memory and per-round walks O(live); the
+// surviving flow keeps probing and forwarding afterwards.
+func TestRetargetCompactsSlots(t *testing.T) {
+	s, ctrl, f, old, via := retargetTopo(t)
+	paths := [2]topo.Path{old, via}
+	cur := f
+	// Swap the one managed flow back and forth: every retarget retires
+	// a slot, so dead slots quickly outnumber the single live one.
+	for i := 0; i < 6; i++ {
+		at := 2 + float64(i)*3 // > wake (1 s) + grace (0.5 s) apart
+		p := paths[(i+1)%2]
+		s.Schedule(at, func() {
+			nf, err := ctrl.Retarget(cur, []topo.Path{p}, RetargetOpts{DrainGrace: 0.5})
+			if err != nil {
+				t.Errorf("retarget %d: %v", i, err)
+				return
+			}
+			cur = nf
+		})
+	}
+	s.Run(25)
+	if len(ctrl.flows) != 1 {
+		t.Errorf("slot table holds %d entries after churn, want 1 (compacted)", len(ctrl.flows))
+	}
+	if ctrl.deadManaged != 0 {
+		t.Errorf("deadManaged = %d after compaction, want 0", ctrl.deadManaged)
+	}
+	if len(ctrl.slot) != 1 {
+		t.Errorf("slot map holds %d entries, want 1", len(ctrl.slot))
+	}
+	if math.Abs(cur.Rate()-5*topo.Mbps) > 1e3 {
+		t.Errorf("surviving flow rate = %v, want 5 Mbps", cur.Rate())
+	}
+	// Probing still works against the compacted table.
+	decisions := ctrl.Decisions
+	s.Run(27)
+	if ctrl.Decisions <= decisions {
+		t.Error("no decisions after compaction: probe wheel lost the live slot")
+	}
+}
+
+// TestRetargetFingerprintPinsSwap: the retarget/handoff/retire ops are
+// folded into the controller fingerprint, so two identical runs pin
+// and a run without the swap differs.
+func TestRetargetFingerprintPinsSwap(t *testing.T) {
+	run := func(swap bool) uint64 {
+		s, ctrl, f, _, via := retargetTopo(t)
+		if swap {
+			s.Schedule(2.0, func() {
+				if _, err := ctrl.Retarget(f, []topo.Path{via}, RetargetOpts{DrainGrace: 0.5}); err != nil {
+					t.Errorf("retarget: %v", err)
+				}
+			})
+		}
+		s.Run(5)
+		return ctrl.Fingerprint()
+	}
+	a, b, c := run(true), run(true), run(false)
+	if a != b {
+		t.Errorf("identical swap runs fingerprint %016x vs %016x", a, b)
+	}
+	if a == c {
+		t.Errorf("swap and no-swap runs share fingerprint %016x", a)
+	}
+}

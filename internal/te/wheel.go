@@ -95,6 +95,36 @@ func (g *wheelGroup) compact(removed func(slot int) bool, paths func(slot int) i
 	g.utilLen = utilLen
 }
 
+// inFlight sums outstanding snapshot buffers across all groups.
+func (w *probeWheel) inFlight() int {
+	n := 0
+	for gi := range w.groups {
+		n += w.groups[gi].inFlight
+	}
+	return n
+}
+
+// remapSlots rewrites every group's slot indices through remap
+// (dropping entries mapped to -1), preserving slot order. Callers must
+// ensure no snapshot is in flight in any group.
+func (w *probeWheel) remapSlots(remap []int, paths func(slot int) int) {
+	for gi := range w.groups {
+		g := &w.groups[gi]
+		kept := g.slots[:0]
+		utilLen := 0
+		for _, slot := range g.slots {
+			ns := remap[slot]
+			if ns < 0 {
+				continue
+			}
+			kept = append(kept, ns)
+			utilLen += paths(ns)
+		}
+		g.slots = kept
+		g.utilLen = utilLen
+	}
+}
+
 // scratch returns a reusable buffer for synchronous decisions.
 func (w *probeWheel) scratch(n int) []float64 {
 	if cap(w.scratchBuf) < n {

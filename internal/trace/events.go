@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"io"
+	"strconv"
+)
+
+// EventWriter emits a structured JSONL event stream: one self-contained
+// JSON object per line, with jaeger-style span fields, for controller
+// decisions (probe/shift/wake/evacuate) and lifecycle transitions
+// (replan/stage/swap). It is the runtime's opt-in flight recorder: a
+// nil *EventWriter is a valid no-op sink, so instrumented code calls
+// Emit unconditionally and pays one branch when tracing is off.
+//
+// Emit is allocation-free in steady state: the line is rendered into a
+// reused buffer with strconv appends (no fmt, no interface boxing) and
+// handed to the underlying writer in one Write call. Wrap files in a
+// bufio.Writer; the stream is valid JSONL at every line boundary.
+//
+// The fixed schema per line is
+//
+//	{"ts":12.5,"span":"te","op":"shift","flow":7,"from":0,"to":1,"val":0.25}
+//
+// where ts is simulation seconds, span names the emitting subsystem
+// ("te", "lifecycle"), op the action, and flow/from/to identify the
+// actors (omitted when negative: lifecycle transitions carry no flow;
+// val holds the action's magnitude — shifted share fraction, deviation
+// spread, migrated-flow count — and is always present).
+type EventWriter struct {
+	w      io.Writer
+	buf    []byte
+	events int
+	err    error
+}
+
+// NewEventWriter returns an EventWriter emitting JSONL to w.
+func NewEventWriter(w io.Writer) *EventWriter {
+	return &EventWriter{w: w, buf: make([]byte, 0, 160)}
+}
+
+// Emit writes one event line. Safe on a nil receiver (no-op), so
+// callers hold a possibly-nil *EventWriter and call unconditionally.
+// After a write error the writer goes quiet; check Err.
+func (e *EventWriter) Emit(ts float64, span, op string, flow, from, to int, val float64) {
+	if e == nil || e.err != nil {
+		return
+	}
+	b := e.buf[:0]
+	b = append(b, `{"ts":`...)
+	b = strconv.AppendFloat(b, ts, 'g', -1, 64)
+	b = append(b, `,"span":"`...)
+	b = append(b, span...)
+	b = append(b, `","op":"`...)
+	b = append(b, op...)
+	b = append(b, '"')
+	if flow >= 0 {
+		b = append(b, `,"flow":`...)
+		b = strconv.AppendInt(b, int64(flow), 10)
+	}
+	if from >= 0 {
+		b = append(b, `,"from":`...)
+		b = strconv.AppendInt(b, int64(from), 10)
+	}
+	if to >= 0 {
+		b = append(b, `,"to":`...)
+		b = strconv.AppendInt(b, int64(to), 10)
+	}
+	b = append(b, `,"val":`...)
+	b = strconv.AppendFloat(b, val, 'g', -1, 64)
+	b = append(b, '}', '\n')
+	e.buf = b
+	e.events++
+	if _, err := e.w.Write(b); err != nil {
+		e.err = err
+	}
+}
+
+// Events returns the number of events emitted so far.
+func (e *EventWriter) Events() int {
+	if e == nil {
+		return 0
+	}
+	return e.events
+}
+
+// Err returns the first write error, if any.
+func (e *EventWriter) Err() error {
+	if e == nil {
+		return nil
+	}
+	return e.err
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestEventWriterJSONL: every emitted line is a standalone JSON object
+// with the fixed span fields; negative actor IDs are omitted.
+func TestEventWriterJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	ew := NewEventWriter(&buf)
+	ew.Emit(1.5, "te", "shift", 7, 0, 1, 0.25)
+	ew.Emit(2.0, "lifecycle", "check", -1, -1, -1, 0.4)
+	if err := ew.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if ew.Events() != 2 {
+		t.Fatalf("Events() = %d, want 2", ew.Events())
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2: %q", len(lines), buf.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	for k, want := range map[string]any{
+		"ts": 1.5, "span": "te", "op": "shift",
+		"flow": 7.0, "from": 0.0, "to": 1.0, "val": 0.25,
+	} {
+		if first[k] != want {
+			t.Errorf("line 1 field %q = %v, want %v", k, first[k], want)
+		}
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatalf("line 2 not JSON: %v", err)
+	}
+	for _, k := range []string{"flow", "from", "to"} {
+		if _, ok := second[k]; ok {
+			t.Errorf("line 2 carries %q despite negative actor", k)
+		}
+	}
+	if second["val"] != 0.4 || second["span"] != "lifecycle" {
+		t.Errorf("line 2 = %v", second)
+	}
+}
+
+// TestEventWriterNilIsNoOp: a nil *EventWriter accepts the whole API.
+func TestEventWriterNilIsNoOp(t *testing.T) {
+	var ew *EventWriter
+	ew.Emit(1, "te", "shift", 0, 0, 0, 0)
+	if ew.Events() != 0 || ew.Err() != nil {
+		t.Error("nil writer not a clean no-op")
+	}
+}
+
+// TestEventWriterZeroAlloc: steady-state emission must not allocate —
+// the opt-in trace may be left on during 100k-flow replays.
+func TestEventWriterZeroAlloc(t *testing.T) {
+	ew := NewEventWriter(io.Discard)
+	ew.Emit(0, "te", "probe", -1, -1, -1, 1) // warm the buffer
+	avg := testing.AllocsPerRun(1000, func() {
+		ew.Emit(123.456, "te", "shift", 99999, 2, 3, 0.123456789)
+	})
+	if avg != 0 {
+		t.Errorf("Emit allocates %.2f per op in steady state, want 0", avg)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n++
+	return 0, io.ErrClosedPipe
+}
+
+// TestEventWriterStopsAfterError: the first write error latches; the
+// writer goes quiet instead of hammering a dead sink.
+func TestEventWriterStopsAfterError(t *testing.T) {
+	fw := &failWriter{}
+	ew := NewEventWriter(fw)
+	ew.Emit(0, "te", "shift", 1, 0, 1, 0.5)
+	ew.Emit(1, "te", "shift", 1, 0, 1, 0.5)
+	if ew.Err() == nil {
+		t.Fatal("write error not surfaced")
+	}
+	if fw.n != 1 {
+		t.Errorf("writer called %d times after error, want 1", fw.n)
+	}
+}

@@ -42,6 +42,11 @@ func (m *Matrix) Set(o, d topo.NodeID, rate float64) {
 	m.rates[k] = rate
 }
 
+// Reset removes every entry, retaining the allocated capacity —
+// monitors that rebuild a live matrix periodically reuse one Matrix
+// instead of allocating per sample.
+func (m *Matrix) Reset() { clear(m.rates) }
+
 // Add increases the demand from o to d.
 func (m *Matrix) Add(o, d topo.NodeID, rate float64) {
 	m.Set(o, d, m.Rate(o, d)+rate)

@@ -1,0 +1,56 @@
+// Package lifecycle is the public plan-lifecycle surface of the
+// response module: a Manager that closes the REsPoNse control loop by
+// monitoring live demand drift against the planned matrix, replanning
+// in the background through the context-aware response.Planner, and
+// hot-swapping the staged tables into a running simulate.Controller
+// with zero traffic disruption.
+//
+// It is a thin re-export layer over the module's internal lifecycle
+// manager; see DESIGN.md §6 for the trigger policy, the swap state
+// machine and the rollback rules.
+//
+//	mgr := lifecycle.New(sim, ctrl, plan, replan, lifecycle.Opts{})
+//	mgr.Start()                   // monitors, replans, swaps
+//	...
+//	m := mgr.Metrics()            // replans, swaps, migrated flows
+//	artifact := mgr.StagedArtifact() // the versioned plan artifact
+package lifecycle
+
+import (
+	"response"
+	ilc "response/internal/lifecycle"
+	"response/simulate"
+)
+
+// Core lifecycle types.
+type (
+	// Manager monitors deviation, replans off the hot path and
+	// hot-swaps plan tables into a running controller.
+	Manager = ilc.Manager
+	// Opts parameterizes a Manager: trigger policy (deviation
+	// threshold, spread, hysteresis, min-interval), replan latency or
+	// background mode, drain grace, power-gate model and event trace.
+	Opts = ilc.Opts
+	// State is the manager's lifecycle state.
+	State = ilc.State
+	// Metrics are the manager's cumulative counters.
+	Metrics = ilc.Metrics
+	// ReplanFunc computes a candidate plan for a live demand matrix.
+	ReplanFunc = ilc.ReplanFunc
+)
+
+// Lifecycle states.
+const (
+	StateIdle       = ilc.StateIdle
+	StateReplanning = ilc.StateReplanning
+	StateSwapping   = ilc.StateSwapping
+)
+
+// New builds a Manager over a running simulator/controller pair.
+// current is the installed plan; replan computes candidate
+// replacements (typically a response.Planner call with the live
+// matrix as WithLowMatrix). Call Start once flows are managed and
+// their initial demands set.
+func New(s *simulate.Simulator, c *simulate.Controller, current *response.Plan, replan ReplanFunc, opts Opts) *Manager {
+	return ilc.New(s, c, current, replan, opts)
+}

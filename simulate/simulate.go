@@ -8,9 +8,12 @@
 package simulate
 
 import (
+	"io"
+
 	"response/internal/scenario"
 	"response/internal/sim"
 	"response/internal/te"
+	"response/internal/trace"
 	"response/topology"
 )
 
@@ -44,8 +47,9 @@ const (
 
 // Scenario types: the named large-scale online workloads (diurnal
 // replay, flash crowd, correlated failure storm, rolling repair, Click
-// failover), each deterministic under a seed and runnable with
-// hundreds of thousands of managed flows.
+// failover, deviation-triggered replan with table hot-swap), each
+// deterministic under a seed and runnable with hundreds of thousands
+// of managed flows.
 type (
 	// Scenario configures a scenario run (flow count, duration, seed,
 	// flash/storm parameters, allocator mode).
@@ -67,6 +71,18 @@ func New(t *topology.Topology, opts Opts) *Simulator { return sim.New(t, opts) }
 func NewController(s *Simulator, opts ControllerOpts) *Controller {
 	return te.NewController(s, opts)
 }
+
+// EventWriter is the opt-in structured JSONL event trace: one JSON
+// object per controller decision (probe/shift/wake/evacuate/retarget)
+// and lifecycle transition (replan/stage/swap), with jaeger-style span
+// fields. Off by default everywhere; when enabled, emission is
+// allocation-free in steady state. Wire one into ControllerOpts.Events,
+// Scenario.Events or lifecycle Opts.Events.
+type EventWriter = trace.EventWriter
+
+// NewEventWriter returns an EventWriter emitting JSONL to w (wrap
+// files in a bufio.Writer and flush when done).
+func NewEventWriter(w io.Writer) *EventWriter { return trace.NewEventWriter(w) }
 
 // Scenarios lists the runnable scenario names.
 func Scenarios() []string { return scenario.Names() }
