@@ -15,6 +15,7 @@ import (
 
 	"response"
 	"response/simulate"
+	"response/topogen"
 	"response/topology"
 )
 
@@ -85,6 +86,41 @@ func TestArtifactGeantRoundTrip(t *testing.T) {
 	}
 	if !bytes.Equal(first, marshalPlan(t, loaded)) {
 		t.Fatal("GÉANT round trip not byte-identical")
+	}
+}
+
+// TestArtifactGeneratedRoundTrip repeats the byte-equality and
+// wrong-topology checks on a generated instance: artifacts must be as
+// canonical on synthetic networks as on the built-in ones, and an
+// artifact computed for one seed must refuse to install on another.
+func TestArtifactGeneratedRoundTrip(t *testing.T) {
+	gen := func(seed int64) (*response.Topology, []response.NodeID) {
+		inst, err := topogen.Generate(topogen.Config{
+			Family: topogen.FamilyWaxman, Size: 12, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inst.Topo, inst.Endpoints
+	}
+	tp, eps := gen(11)
+	plan, err := response.NewPlanner(
+		response.WithEndpoints(eps), response.WithRestarts(0),
+	).Plan(context.Background(), tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := marshalPlan(t, plan)
+	loaded, err := response.ReadPlanFrom(bytes.NewReader(first), tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, marshalPlan(t, loaded)) {
+		t.Fatal("generated round trip not byte-identical")
+	}
+	other, _ := gen(12)
+	if _, err := response.ReadPlanFrom(bytes.NewReader(first), other); !errors.Is(err, response.ErrTopologyMismatch) {
+		t.Fatalf("cross-seed install: err = %v, want ErrTopologyMismatch", err)
 	}
 }
 

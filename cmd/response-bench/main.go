@@ -4,9 +4,16 @@
 // reproduction entry point; see EXPERIMENTS.md for the recorded
 // paper-vs-measured table.
 //
+// With -gen it instead runs the generated-topology scale sweep: plan
+// time and hot-swap cost over fat-tree and Waxman instances (to 245
+// and 200 nodes), every plan vetted by the invariant checker, with the
+// result written as JSON (default BENCH_gen.json). Any invariant
+// violation makes the run exit non-zero, so CI can gate on it.
+//
 // Usage:
 //
 //	response-bench [-quick]
+//	response-bench -gen [-quick] [-genout BENCH_gen.json]
 package main
 
 import (
@@ -21,8 +28,15 @@ import (
 )
 
 func main() {
-	quick := flag.Bool("quick", false, "smaller traces (2 days, coarser strides)")
+	quick := flag.Bool("quick", false, "smaller traces (2 days, coarser strides); with -gen, small sweep sizes")
+	gen := flag.Bool("gen", false, "run the generated-topology scale sweep instead of the figure suite")
+	genout := flag.String("genout", "BENCH_gen.json", "output path of the -gen sweep JSON")
 	flag.Parse()
+
+	if *gen {
+		runGenSweep(*quick, *genout)
+		return
+	}
 
 	days, stride := 8, 2
 	if *quick {
@@ -107,5 +121,22 @@ func main() {
 func fail(err error) {
 	if err != nil {
 		log.Fatal(err)
+	}
+}
+
+// runGenSweep executes the generated-topology sweep, prints the table,
+// writes the JSON artifact and exits non-zero on invariant violations.
+func runGenSweep(quick bool, out string) {
+	start := time.Now()
+	sweep, err := experiments.RunGeneratedSweep(experiments.GenSweepOpts{Quick: quick})
+	fail(err)
+	sweep.Print(os.Stdout)
+	f, err := os.Create(out)
+	fail(err)
+	fail(sweep.WriteJSON(f))
+	fail(f.Close())
+	fmt.Printf("\nwrote %s in %s\n", out, time.Since(start).Round(time.Millisecond))
+	if n := sweep.Violations(); n > 0 {
+		log.Fatalf("generated sweep found %d invariant violation(s)", n)
 	}
 }

@@ -60,10 +60,19 @@
 // # Companion packages
 //
 //   - response/topology:      network model and builders (fat-tree, GÉANT, ...)
+//   - response/topogen:       seed-deterministic synthetic topology/workload generators
 //   - response/trafficmatrix: demand matrices, gravity model, synthetic traces
 //   - response/simulate:      discrete-event simulator + REsPoNseTE controller
 //   - response/lifecycle:     deviation-triggered replanning + table hot-swap
 //   - response/experiments:   one entry point per reproduced paper figure
+//
+// Correctness is property-based, not only pinned: response/topogen
+// generates structurally diverse networks (fat-tree, Waxman, ring,
+// torus, two-tier ISP) with matched gravity workloads, and the
+// internal verification harness checks planner and runtime invariants
+// — flow conservation, capacity retention, delay bounds, always-on
+// connectivity, power ≤ all-on — plus incremental-vs-reference
+// differential oracles on every generated instance (DESIGN.md §7).
 //
 // The implementation lives under internal/; the public packages are
 // thin, alias-based facades over it, so the engine can keep evolving

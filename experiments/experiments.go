@@ -44,6 +44,13 @@ type (
 	// Online is a large-scale online-runtime scenario result (counters,
 	// behavioral fingerprint, delivered fraction).
 	Online = iexp.Online
+	// GenSweep is the generated-topology scale sweep: plan time, swap
+	// cost and invariant findings as a function of network size.
+	GenSweep = iexp.GenSweep
+	// GenPoint is one instance of a GenSweep.
+	GenPoint = iexp.GenPoint
+	// GenSweepOpts parameterizes RunGeneratedSweep.
+	GenSweepOpts = iexp.GenSweepOpts
 	// Point is one (x, y) sample of a result curve.
 	Point = stats.Point
 )
@@ -57,6 +64,15 @@ func OnlineScenarios() []string { return iexp.OnlineScenarios() }
 // under identical arguments.
 func RunOnline(name string, flows int, seed int64, durationSec float64, fullAlloc, meterPower bool) (Online, error) {
 	return iexp.RunOnline(name, flows, seed, durationSec, fullAlloc, meterPower)
+}
+
+// RunGeneratedSweep plans a sweep of generated fat-tree and Waxman
+// instances (up to 245 and 200 nodes in the full sweep), vets every
+// plan with the invariant checker, and measures plan time plus the
+// cost of hot-swapping a demand-aware replan into a loaded controller.
+// cmd/response-bench -gen writes the result as BENCH_gen.json.
+func RunGeneratedSweep(opts GenSweepOpts) (GenSweep, error) {
+	return iexp.RunGeneratedSweep(opts)
 }
 
 // RunFig1a regenerates Figure 1a over a trace of the given length.

@@ -3,14 +3,23 @@ package response_test
 // FuzzReadPlanFrom hammers the artifact reader with mutated inputs: it
 // must classify every malformed artifact as an error — never panic —
 // and anything it does accept must re-serialize cleanly.
+//
+// FuzzPlanGenerated hammers the planner itself with mutated generated
+// topologies: whatever the generator+mutator produce, Plan must either
+// succeed with tables that pass the invariant checker or fail with a
+// classified sentinel error — never panic, never emit an infeasible
+// table.
 
 import (
 	"bytes"
 	"context"
+	"errors"
 	"sync"
 	"testing"
 
 	"response"
+	"response/internal/topogen"
+	"response/internal/verify"
 	"response/topology"
 )
 
@@ -49,9 +58,9 @@ func FuzzReadPlanFrom(f *testing.F) {
 	f.Add(mutate(func(b []byte) { b[len(b)-3] = '}' })) // JSON damage
 	f.Add(mutate(func(b []byte) { b[60] ^= 0x20 }))     // payload bitflip
 
-	topo := topology.NewExample(topology.ExampleOpts{}).Topology
+	top := topology.NewExample(topology.ExampleOpts{}).Topology
 	f.Fuzz(func(t *testing.T, data []byte) {
-		plan, err := response.ReadPlanFrom(bytes.NewReader(data), topo)
+		plan, err := response.ReadPlanFrom(bytes.NewReader(data), top)
 		if err != nil {
 			if plan != nil {
 				t.Fatal("non-nil plan alongside error")
@@ -70,4 +79,56 @@ func FuzzReadPlanFrom(f *testing.F) {
 			t.Fatalf("accepted artifact is not canonical: %d bytes in, %d out", len(data), out.Len())
 		}
 	})
+}
+
+// FuzzPlanGenerated plans a small mutated Waxman topology per input:
+// size and seed steer the generator, drop deletes links (possibly
+// disconnecting the graph). Plan must never panic; failures must
+// classify under the sentinel errors, and successes must pass the
+// invariant checker.
+func FuzzPlanGenerated(f *testing.F) {
+	f.Add(uint8(6), int64(1), uint8(0))
+	f.Add(uint8(10), int64(2), uint8(3))
+	f.Add(uint8(2), int64(3), uint8(1))  // minimal pair, possibly cut apart
+	f.Add(uint8(14), int64(4), uint8(7)) // denser mesh, several drops
+	f.Add(uint8(3), int64(5), uint8(255))
+	f.Add(uint8(0), int64(6), uint8(0))
+
+	f.Fuzz(func(t *testing.T, size uint8, seed int64, drop uint8) {
+		n := 2 + int(size)%14
+		inst, err := topogen.Generate(topogen.Config{
+			Family: topogen.FamilyWaxman, Size: n, Seed: seed,
+		})
+		if err != nil {
+			t.Fatalf("generator rejected a legal config: %v", err)
+		}
+		mutated := dropLinks(inst.Topo, int(drop))
+		plan, err := response.NewPlanner(
+			response.WithEndpoints(inst.Endpoints),
+			response.WithRestarts(0),
+		).Plan(context.Background(), mutated)
+		if err != nil {
+			if !errors.Is(err, response.ErrInfeasible) {
+				t.Fatalf("plan failed outside the sentinel taxonomy: %v", err)
+			}
+			return
+		}
+		if rep := verify.CheckTables(mutated, plan.Tables(), verify.Opts{}); !rep.Ok() {
+			t.Fatalf("planner emitted tables violating invariants: %v", rep.Err())
+		}
+	})
+}
+
+// dropLinks rebuilds a topology with `drop` links removed, spread over
+// the link list deterministically.
+func dropLinks(src *topology.Topology, drop int) *topology.Topology {
+	nl := src.NumLinks()
+	removed := map[topology.LinkID]bool{}
+	for i := 0; i < drop%(nl+1); i++ {
+		removed[topology.LinkID((i*7+3)%nl)] = true
+	}
+	return cloneTopology(src, src.Name+"-cut",
+		func(l topology.Link, capAB, capBA float64) (float64, float64, bool) {
+			return capAB, capBA, !removed[l.ID]
+		})
 }

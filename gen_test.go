@@ -1,0 +1,294 @@
+package response_test
+
+// Generated-topology tests at the facade level: pinned per-family
+// instance fingerprints (the topogen analog of TestPlanFingerprints)
+// and the metamorphic planning properties — uniform capacity scaling
+// changes no installed path, and node relabeling yields isomorphic
+// plans — run over 20 generated seeds per seeded family.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"response"
+	"response/internal/topogen"
+	"response/internal/traffic"
+	"response/internal/verify"
+	"response/topology"
+)
+
+// TestGeneratedFingerprints pins the default instance of every
+// generator family, exactly as TestPlanFingerprints pins the planner
+// output on the built-in topologies: a drifting constant means the
+// generator's output changed and every property pinned on it moved.
+func TestGeneratedFingerprints(t *testing.T) {
+	cases := []struct {
+		family       topogen.Family
+		want         uint64
+		nodes, links int
+	}{
+		{topogen.FamilyFatTree, 3242423905968741467, 20, 32},
+		{topogen.FamilyWaxman, 15615737204233852716, 20, 40},
+		{topogen.FamilyRing, 9899162936889056705, 8, 10},
+		{topogen.FamilyTorus, 8326915775939615599, 16, 32},
+		{topogen.FamilyISP, 13688632913342657596, 15, 27},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(string(tc.family), func(t *testing.T) {
+			inst, err := topogen.Generate(topogen.Config{Family: tc.family, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := inst.Fingerprint(); got != tc.want {
+				t.Errorf("instance fingerprint = %d, want %d (generator output drifted)", got, tc.want)
+			}
+			if n, l := inst.Topo.NumNodes(), inst.Topo.NumLinks(); n != tc.nodes || l != tc.links {
+				t.Errorf("topology = %d nodes / %d links, want %d / %d", n, l, tc.nodes, tc.links)
+			}
+		})
+	}
+}
+
+// propertyConfigs are the instances the metamorphic properties run
+// over: 20 seeds per seeded family at small sizes, plus one instance
+// each of the seed-invariant families.
+func propertyConfigs() []topogen.Config {
+	var out []topogen.Config
+	for _, fam := range []topogen.Family{topogen.FamilyWaxman, topogen.FamilyRing, topogen.FamilyISP} {
+		size := map[topogen.Family]int{
+			topogen.FamilyWaxman: 10,
+			topogen.FamilyRing:   8,
+			topogen.FamilyISP:    3,
+		}[fam]
+		for seed := int64(1); seed <= 20; seed++ {
+			out = append(out, topogen.Config{Family: fam, Size: size, Seed: seed})
+		}
+	}
+	out = append(out,
+		topogen.Config{Family: topogen.FamilyFatTree, Size: 4, Seed: 1},
+		topogen.Config{Family: topogen.FamilyTorus, Size: 3, Seed: 1},
+	)
+	return out
+}
+
+// planFor plans a topology over the given endpoints with the
+// deterministic orderings and a capacity-independent power model, the
+// regime in which both metamorphic properties are exact. (With tiered
+// line-card power, scaling capacities legitimately changes which
+// hardware carries each path, so the scaling property would not hold.)
+func planFor(t *testing.T, topo *response.Topology, eps []response.NodeID) *response.Plan {
+	t.Helper()
+	plan, err := response.NewPlanner(
+		response.WithEndpoints(eps),
+		response.WithRestarts(0),
+		response.WithModel(response.NewCommodityPower(4)),
+	).Plan(context.Background(), topo)
+	if err != nil {
+		t.Fatalf("%s: plan: %v", topo.Name, err)
+	}
+	return plan
+}
+
+// TestCapacityScalingInvariance: multiplying every capacity by a
+// constant changes no installed path decision — demand shapes, InvCap
+// weights and feasibility thresholds all scale together, so the plan
+// must be arc-for-arc identical. The factor is a power of two so that
+// every float in the pipeline (gravity shapes, feasibility probes,
+// utilization ratios) scales exactly and the equivalence is
+// bit-for-bit, not approximate.
+func TestCapacityScalingInvariance(t *testing.T) {
+	const c = 4.0
+	for _, cfg := range propertyConfigs() {
+		cfg := cfg
+		t.Run(fmt.Sprintf("%s-%d-s%d", cfg.Family, cfg.Size, cfg.Seed), func(t *testing.T) {
+			t.Parallel()
+			inst, err := topogen.Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scaled := scaleCapacities(inst.Topo, c)
+			base := planFor(t, inst.Topo, inst.Endpoints)
+			got := planFor(t, scaled, inst.Endpoints)
+			for _, k := range base.Pairs() {
+				pb, _ := base.PathSet(k[0], k[1])
+				pg, ok := got.PathSet(k[0], k[1])
+				if !ok {
+					t.Fatalf("pair %v missing from scaled plan", k)
+				}
+				for li, p := range pb.Levels() {
+					if !p.Equal(pg.Levels()[li]) {
+						t.Fatalf("pair %v level %d: path changed under capacity scaling:\n  %v\nvs %v",
+							k, li, p.Arcs, pg.Levels()[li].Arcs)
+					}
+				}
+			}
+		})
+	}
+}
+
+// cloneTopology rebuilds src with identical nodes and, per link, the
+// capacities xform returns (keep=false drops the link). The shared
+// scaffold of every topology-mutation test in this package.
+func cloneTopology(src *topology.Topology, name string,
+	xform func(l topology.Link, capAB, capBA float64) (float64, float64, bool)) *topology.Topology {
+
+	out := topology.New(name)
+	for _, n := range src.Nodes() {
+		out.AddNodeAt(n.Name, n.Kind, n.KmEast, n.KmNorth)
+	}
+	for _, l := range src.Links() {
+		ab, ba := src.Arc(l.AB), src.Arc(l.BA)
+		ca, cb, keep := xform(l, ab.Capacity, ba.Capacity)
+		if !keep {
+			continue
+		}
+		out.AddAsymLink(l.A, l.B, ca, cb, ab.Latency)
+	}
+	return out
+}
+
+// scaleCapacities rebuilds a topology with every arc capacity
+// multiplied by c (latency, layout and ordering untouched).
+func scaleCapacities(src *topology.Topology, c float64) *topology.Topology {
+	return cloneTopology(src, src.Name+"-scaled",
+		func(_ topology.Link, capAB, capBA float64) (float64, float64, bool) {
+			return capAB * c, capBA * c, true
+		})
+}
+
+// TestNodePermutationIsomorphism: relabeling the nodes of an instance
+// must yield an isomorphic plan. On the irregular (seeded) families
+// the min-power always-on solve reaches the exact same optimum power
+// under any labeling; individual path hop counts are equal-cost
+// tie-breaks and legitimately label-dependent, so instead of pinning
+// them the permuted plan must pass the full invariant checker and
+// cover the permuted pair universe level for level. (Highly symmetric
+// fabrics — fat-tree, torus — are excluded from the power equality:
+// with everything tied, the greedy's label-driven tie-breaking can
+// land in different-value local minima, a documented property of the
+// Chiaraviglio-style heuristic; see DESIGN.md §7.)
+func TestNodePermutationIsomorphism(t *testing.T) {
+	for _, cfg := range propertyConfigs() {
+		cfg := cfg
+		t.Run(fmt.Sprintf("%s-%d-s%d", cfg.Family, cfg.Size, cfg.Seed), func(t *testing.T) {
+			t.Parallel()
+			inst, err := topogen.Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			perm, permuted := permuteNodes(inst.Topo, cfg.Seed)
+			base := planFor(t, inst.Topo, inst.Endpoints)
+			peps := make([]response.NodeID, len(inst.Endpoints))
+			for i, e := range inst.Endpoints {
+				peps[i] = perm[e]
+			}
+			got := planFor(t, permuted, peps)
+
+			symmetric := cfg.Family == topogen.FamilyFatTree || cfg.Family == topogen.FamilyTorus
+			model := response.NewCommodityPower(4)
+			wb := response.NetworkWatts(inst.Topo, model, base.AlwaysOnSet())
+			wg := response.NetworkWatts(permuted, model, got.AlwaysOnSet())
+			if !symmetric && wb != wg {
+				t.Errorf("always-on power differs under relabeling: %.3f vs %.3f W", wb, wg)
+			}
+			if base.TunnelCount() != got.TunnelCount() {
+				t.Errorf("tunnel count %d vs %d under relabeling", base.TunnelCount(), got.TunnelCount())
+			}
+			for _, k := range base.Pairs() {
+				pb, _ := base.PathSet(k[0], k[1])
+				pg, ok := got.PathSet(perm[k[0]], perm[k[1]])
+				if !ok {
+					t.Fatalf("pair %v missing from permuted plan", k)
+				}
+				if pb.NumLevels() != pg.NumLevels() {
+					t.Fatalf("pair %v: %d levels vs %d", k, pb.NumLevels(), pg.NumLevels())
+				}
+			}
+			if err := verify.CheckTables(permuted, got.Tables(), verify.Opts{
+				Model: model,
+			}).Err(); err != nil {
+				t.Errorf("permuted plan fails the invariant checker: %v", err)
+			}
+		})
+	}
+}
+
+// permuteNodes rebuilds a topology under a seeded node relabeling:
+// node n becomes perm[n], nodes are added in new-ID order and links in
+// lexicographic order of their relabeled endpoints, so the permuted
+// build is a legal construction order of the isomorphic graph.
+func permuteNodes(src *topology.Topology, seed int64) ([]response.NodeID, *topology.Topology) {
+	n := src.NumNodes()
+	rng := rand.New(rand.NewSource(seed * 7919))
+	perm := make([]response.NodeID, n)
+	for i, v := range rng.Perm(n) {
+		perm[i] = response.NodeID(v)
+	}
+	inv := make([]response.NodeID, n)
+	for old, new := range perm {
+		inv[new] = response.NodeID(old)
+	}
+	out := topology.New(src.Name + "-perm")
+	for newID := 0; newID < n; newID++ {
+		old := src.Node(inv[newID])
+		out.AddNodeAt(old.Name, old.Kind, old.KmEast, old.KmNorth)
+	}
+	type edge struct {
+		a, b         response.NodeID
+		capAB, capBA float64
+		latency      float64
+	}
+	var edges []edge
+	for _, l := range src.Links() {
+		ab, ba := src.Arc(l.AB), src.Arc(l.BA)
+		a, b := perm[l.A], perm[l.B]
+		ca, cb := ab.Capacity, ba.Capacity
+		if a > b {
+			a, b = b, a
+			ca, cb = cb, ca
+		}
+		edges = append(edges, edge{a, b, ca, cb, ab.Latency})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+	for _, e := range edges {
+		out.AddAsymLink(e.a, e.b, e.capAB, e.capBA, e.latency)
+	}
+	return perm, out
+}
+
+// TestGeneratedPlanEvaluates closes the loop at the facade: a plan on
+// a generated instance evaluates its matched matrix with power at or
+// below the all-on network and within the ceiling when nothing
+// overflowed.
+func TestGeneratedPlanEvaluates(t *testing.T) {
+	inst, err := topogen.Generate(topogen.Config{Family: topogen.FamilyWaxman, Size: 14, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := response.NewPlanner(
+		response.WithEndpoints(inst.Endpoints),
+		response.WithRestarts(0),
+	).Plan(context.Background(), inst.Topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := response.Cisco12000{}
+	ev := plan.Evaluate(lowered(inst.TM, 0.2), model, 1.0)
+	if full := response.FullWatts(inst.Topo, model); ev.Watts > full {
+		t.Errorf("evaluated power %.1f W exceeds all-on %.1f W", ev.Watts, full)
+	}
+	if ev.Overloaded == 0 && ev.MaxUtil > 1+1e-9 {
+		t.Errorf("placement exceeded ceiling: %.4f", ev.MaxUtil)
+	}
+}
+
+func lowered(m *traffic.Matrix, f float64) *traffic.Matrix { return m.Scale(f) }

@@ -1,0 +1,73 @@
+package core
+
+// Degenerate-input regressions from the generated-corpus bugfix sweep
+// (ISSUE 5): the planner must handle empty, single-node and
+// zero-demand inputs by returning empty-but-valid tables, and
+// disconnected endpoint universes by failing with ErrInfeasible —
+// never by panicking. The verify corpus exercises the generated side;
+// these tests pin the hand-built minimal cases.
+
+import (
+	"errors"
+	"testing"
+
+	"response/internal/power"
+	"response/internal/topo"
+	"response/internal/traffic"
+)
+
+func TestPlanSingleNodeTopology(t *testing.T) {
+	t1 := topo.New("one")
+	t1.AddNode("A", topo.KindRouter)
+	tb, err := Plan(t1, PlanOpts{Model: power.Cisco12000{}, RandomRestarts: -1})
+	if err != nil {
+		t.Fatalf("single-node plan: %v", err)
+	}
+	if len(tb.Pairs) != 0 {
+		t.Fatalf("single-node plan has %d pairs, want 0", len(tb.Pairs))
+	}
+	if err := tb.Validate(); err != nil {
+		t.Fatalf("empty tables fail validation: %v", err)
+	}
+	_ = tb.Fingerprint() // must not panic on empty tables
+}
+
+func TestPlanEmptyTopology(t *testing.T) {
+	tb, err := Plan(topo.New("zero"), PlanOpts{Model: power.Cisco12000{}, RandomRestarts: -1})
+	if err != nil {
+		t.Fatalf("empty-topology plan: %v", err)
+	}
+	if len(tb.Pairs) != 0 {
+		t.Fatalf("empty-topology plan has %d pairs", len(tb.Pairs))
+	}
+}
+
+func TestPlanZeroDemandLowTM(t *testing.T) {
+	t2 := topo.New("two")
+	a := t2.AddNode("A", topo.KindRouter)
+	b := t2.AddNode("B", topo.KindRouter)
+	t2.AddLink(a, b, 1e9, 0.001)
+	m := traffic.NewMatrix()
+	m.Set(a, b, 0) // zero-demand pair: removed, not planned
+	tb, err := Plan(t2, PlanOpts{Model: power.Cisco12000{}, LowTM: m, RandomRestarts: -1})
+	if err != nil {
+		t.Fatalf("zero-demand plan: %v", err)
+	}
+	if len(tb.Pairs) != 0 {
+		t.Fatalf("zero-demand plan has %d pairs, want 0", len(tb.Pairs))
+	}
+}
+
+func TestPlanDisconnectedEndpoints(t *testing.T) {
+	t2 := topo.New("split")
+	a := t2.AddNode("A", topo.KindRouter)
+	b := t2.AddNode("B", topo.KindRouter)
+	c := t2.AddNode("C", topo.KindRouter)
+	d := t2.AddNode("D", topo.KindRouter)
+	t2.AddLink(a, b, 1e9, 0.001)
+	t2.AddLink(c, d, 1e9, 0.001)
+	_, err := Plan(t2, PlanOpts{Model: power.Cisco12000{}, RandomRestarts: -1})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("disconnected plan: err = %v, want ErrInfeasible", err)
+	}
+}

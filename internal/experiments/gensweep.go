@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"response"
+	"response/internal/lifecycle"
+	"response/internal/power"
+	"response/internal/sim"
+	"response/internal/te"
+	"response/internal/topogen"
+	"response/internal/verify"
+)
+
+// GenPoint is one instance of the generated scale sweep: how large the
+// network is, how long the off-line plan took, how much the hot swap
+// into a loaded runtime cost, and whether any invariant broke.
+type GenPoint struct {
+	Family string `json:"family"`
+	Size   int    `json:"size"`
+	Seed   int64  `json:"seed"`
+	Nodes  int    `json:"nodes"`
+	Links  int    `json:"links"`
+	Pairs  int    `json:"pairs"`
+
+	// PlanMs is the wall-clock off-line planning time; Tunnels and
+	// PlanFingerprint identify the result.
+	PlanMs          float64 `json:"plan_ms"`
+	Tunnels         int     `json:"tunnels"`
+	PlanFingerprint string  `json:"plan_fingerprint"`
+
+	// AlwaysOnPct is the always-on power as a percentage of all-on;
+	// TableShare is the fraction of the network's routable load the
+	// installed tables retain (verify.TableScale / max feasible).
+	AlwaysOnPct float64 `json:"always_on_pct"`
+	TableShare  float64 `json:"table_share"`
+
+	// SwapMs is the wall-clock cost of hot-swapping a demand-aware
+	// replan into a controller managing Flows flows; MigratedFlows is
+	// how many were retargeted.
+	Flows         int     `json:"flows"`
+	SwapMs        float64 `json:"swap_ms"`
+	MigratedFlows int     `json:"migrated_flows"`
+
+	// Violations counts invariant-checker findings (0 = clean).
+	Violations int `json:"violations"`
+}
+
+// GenSweep is the result of RunGeneratedSweep: plan-time and swap-cost
+// scaling over generated fat-tree and Waxman instances, with every
+// instance vetted by the invariant checker. cmd/response-bench -gen
+// emits it as BENCH_gen.json.
+type GenSweep struct {
+	Points []GenPoint `json:"points"`
+}
+
+// Violations sums the invariant findings across all points.
+func (g GenSweep) Violations() int {
+	n := 0
+	for _, p := range g.Points {
+		n += p.Violations
+	}
+	return n
+}
+
+// Print writes the sweep as a table.
+func (g GenSweep) Print(w io.Writer) {
+	fmt.Fprintf(w, "Generated scale sweep (%d instances)\n", len(g.Points))
+	fmt.Fprintf(w, "  %-10s %5s %6s %6s %6s %9s %7s %7s %9s %9s %5s\n",
+		"family", "size", "nodes", "links", "pairs", "plan ms", "aon%", "share", "swap ms", "migrated", "viol")
+	for _, p := range g.Points {
+		fmt.Fprintf(w, "  %-10s %5d %6d %6d %6d %9.1f %7.1f %7.2f %9.2f %9d %5d\n",
+			p.Family, p.Size, p.Nodes, p.Links, p.Pairs, p.PlanMs,
+			p.AlwaysOnPct, p.TableShare, p.SwapMs, p.MigratedFlows, p.Violations)
+	}
+}
+
+// WriteJSON emits the sweep as indented JSON (the BENCH_gen.json
+// artifact).
+func (g GenSweep) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g)
+}
+
+// GenSweepOpts parameterizes RunGeneratedSweep.
+type GenSweepOpts struct {
+	// Quick restricts the sweep to the small sizes (CI smoke); the full
+	// sweep grows fat-trees to 245 switches and Waxman meshes to 200
+	// nodes.
+	Quick bool
+	// Flows is the managed-flow count of the swap-cost rig (default
+	// 1000; Quick uses 300).
+	Flows int
+}
+
+// genSweepConfigs returns the instance list: fat-tree and Waxman,
+// growing past 200 nodes in the full sweep, with the endpoint universe
+// capped so pair count stays comparable while the topology scales.
+func genSweepConfigs(quick bool) []topogen.Config {
+	ftSizes := []int{4, 6, 8, 10, 14} // 20 … 245 switches
+	wxSizes := []int{25, 50, 100, 200}
+	if quick {
+		ftSizes = []int{4, 6}
+		wxSizes = []int{25, 50}
+	}
+	var out []topogen.Config
+	for _, k := range ftSizes {
+		out = append(out, topogen.Config{
+			Family: topogen.FamilyFatTree, Size: k, Seed: 1,
+			PeakUtil: 0.5, MaxEndpoints: 20,
+		})
+	}
+	for _, n := range wxSizes {
+		out = append(out, topogen.Config{
+			Family: topogen.FamilyWaxman, Size: n, Seed: 1,
+			PeakUtil: 0.5, MaxEndpoints: 20,
+		})
+	}
+	return out
+}
+
+// RunGeneratedSweep generates the sweep instances, plans each one
+// (timed), vets the tables with the invariant checker, and measures
+// the cost of hot-swapping a demand-aware replan into a controller
+// managing opts.Flows flows — the full REsPoNse lifecycle as a
+// function of network size.
+func RunGeneratedSweep(opts GenSweepOpts) (GenSweep, error) {
+	if opts.Flows == 0 {
+		opts.Flows = 1000
+		if opts.Quick {
+			opts.Flows = 300
+		}
+	}
+	var sweep GenSweep
+	for _, cfg := range genSweepConfigs(opts.Quick) {
+		pt, err := runGenPoint(cfg, opts.Flows)
+		if err != nil {
+			return sweep, fmt.Errorf("gensweep %s-%d: %w", cfg.Family, cfg.Size, err)
+		}
+		sweep.Points = append(sweep.Points, pt)
+	}
+	return sweep, nil
+}
+
+func runGenPoint(cfg topogen.Config, flows int) (GenPoint, error) {
+	inst, err := topogen.Generate(cfg)
+	if err != nil {
+		return GenPoint{}, err
+	}
+	pt := GenPoint{
+		Family: string(cfg.Family),
+		Size:   cfg.Size,
+		Seed:   cfg.Seed,
+		Nodes:  inst.Topo.NumNodes(),
+		Links:  inst.Topo.NumLinks(),
+		Flows:  flows,
+	}
+	// The sweep measures scaling, not solution quality: the three
+	// deterministic orderings keep the largest instances tractable.
+	planner := response.NewPlanner(
+		response.WithEndpoints(inst.Endpoints),
+		response.WithRestarts(0),
+		response.WithSeed(cfg.Seed),
+	)
+	start := time.Now()
+	plan, err := planner.Plan(context.Background(), inst.Topo)
+	if err != nil {
+		return GenPoint{}, err
+	}
+	pt.PlanMs = float64(time.Since(start).Microseconds()) / 1000
+	pt.Pairs = len(plan.Pairs())
+	pt.Tunnels = plan.TunnelCount()
+	pt.PlanFingerprint = fmt.Sprintf("%016x", plan.Fingerprint())
+
+	model := power.Cisco12000{}
+	if full := power.FullWatts(inst.Topo, model); full > 0 {
+		pt.AlwaysOnPct = 100 * power.NetworkWatts(inst.Topo, model, plan.AlwaysOnSet()) / full
+	}
+	rep := verify.CheckTables(inst.Topo, plan.Tables(), verify.Opts{
+		TM: inst.Shape, NetScale: inst.MaxScale,
+	})
+	pt.Violations = len(rep.Violations)
+	if inst.MaxScale > 0 {
+		pt.TableShare = rep.TableScale / inst.MaxScale
+	}
+
+	swapMs, migrated, err := measureSwap(inst, plan, planner, flows)
+	if err != nil {
+		return GenPoint{}, err
+	}
+	pt.SwapMs, pt.MigratedFlows = swapMs, migrated
+	return pt, nil
+}
+
+// measureSwap loads a simulator/controller with the instance workload
+// spread over `flows` managed flows, replans with the live matrix as
+// d_low, and times the lifecycle hot swap.
+func measureSwap(inst *topogen.Instance, planA *response.Plan,
+	planner *response.Planner, flows int) (float64, int, error) {
+
+	t := inst.Topo
+	demands := inst.TM.Demands()
+	if len(demands) == 0 || flows == 0 {
+		return 0, 0, nil
+	}
+	// Derate so that all demand aggregated on always-on paths stays
+	// well under the activation threshold: the swap then measures the
+	// retarget machinery, not congestion reaction.
+	worst := verify.AlwaysOnMaxUtil(t, planA, inst.TM)
+	derate := 1.0
+	if worst > 0 {
+		derate = 0.2 / worst
+	}
+	if derate > 1 {
+		derate = 1
+	}
+
+	s := sim.New(t, sim.Opts{WakeUpDelay: 5, SleepAfterIdle: 60, PinnedOn: planA.AlwaysOnSet()})
+	ctrl := te.NewController(s, te.Opts{Threshold: 0.9, Gamma: 0.5, Period: 60})
+	perPair := flows / len(demands)
+	extra := flows % len(demands)
+	for i, d := range demands {
+		ps, ok := planA.PathSet(d.O, d.D)
+		if !ok {
+			continue
+		}
+		k := perPair
+		if i < extra {
+			k++
+		}
+		for j := 0; j < k; j++ {
+			f, err := s.AddFlow(d.O, d.D, d.Rate*derate/float64(max(k, 1)), ps.Levels())
+			if err != nil {
+				return 0, 0, err
+			}
+			ctrl.Manage(f)
+		}
+	}
+	ctrl.Start()
+	s.Run(120)
+
+	// Replan for the undiluted matched matrix — the "demand drifted to
+	// peak" scenario — so the staged tables genuinely differ from the
+	// ε-planned originals and the swap migrates flows.
+	planB, err := planner.Plan(context.Background(), t, response.WithLowMatrix(inst.TM))
+	if err != nil {
+		return 0, 0, err
+	}
+	mgr := lifecycle.New(s, ctrl, planA, func(context.Context, *response.TrafficMatrix) (*response.Plan, error) {
+		return nil, fmt.Errorf("gensweep: replan must not fire")
+	}, lifecycle.Opts{CheckEvery: 1e9, NoPowerGate: true})
+	mgr.Start()
+	start := time.Now()
+	if err := mgr.StageAndSwap(planB); err != nil {
+		return 0, 0, err
+	}
+	swapMs := float64(time.Since(start).Microseconds()) / 1000
+	s.Run(600) // drain retired tables
+	return swapMs, mgr.Metrics().MigratedFlows, nil
+}

@@ -274,16 +274,26 @@ type Replay struct {
 // managed flows over the planned path levels, each with a
 // phase-jittered diurnal demand. Nothing runs until Advance.
 func NewGeantDiurnal(cfg Config) (*Replay, error) {
+	return NewDiurnal(topo.NewGeant(), nil, cfg)
+}
+
+// NewDiurnal is NewGeantDiurnal over an arbitrary topology — built-in
+// or generated (response/topogen) — so every scenario in the catalog
+// can drive networks beyond the paper's three. endpoints nil selects
+// the deterministic random 70 % of the topology's natural endpoints
+// (the paper's §5.1 procedure); an explicit list is used as given.
+func NewDiurnal(g *topo.Topology, endpoints []topo.NodeID, cfg Config) (*Replay, error) {
 	cfg.defaults()
-	g := topo.NewGeant()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	// Endpoint subset (§5.1): deterministic random 70% of the PoPs.
-	all := core.DefaultEndpoints(g)
-	n := int(float64(len(all))*0.7 + 0.5)
-	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
-	endpoints := append([]topo.NodeID(nil), all[:n]...)
-	sort.Slice(endpoints, func(i, j int) bool { return endpoints[i] < endpoints[j] })
+	if endpoints == nil {
+		// Endpoint subset (§5.1): deterministic random 70% of the PoPs.
+		all := core.DefaultEndpoints(g)
+		n := int(float64(len(all))*0.7 + 0.5)
+		rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+		endpoints = append([]topo.NodeID(nil), all[:n]...)
+		sort.Slice(endpoints, func(i, j int) bool { return endpoints[i] < endpoints[j] })
+	}
 
 	model := power.Cisco12000{}
 	base := traffic.Gravity(g, traffic.GravityOpts{Nodes: endpoints, TotalRate: 1})

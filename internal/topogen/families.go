@@ -1,0 +1,234 @@
+package topogen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"response/internal/topo"
+)
+
+// Capacity tiers of the generated ISP-style families (the GÉANT tiers).
+const (
+	tier622M = 622 * topo.Mbps
+	tier25G  = 2.5 * topo.Gbps
+	tier10G  = 10 * topo.Gbps
+)
+
+// genFatTree wraps the fat-tree builder at switch granularity: path
+// analysis and planning run over the fabric, with edge switches as the
+// demand endpoints.
+func genFatTree(cfg Config) (*topo.Topology, error) {
+	ft, err := topo.NewFatTree(cfg.Size, topo.FatTreeOpts{})
+	if err != nil {
+		return nil, err
+	}
+	return ft.Topology, nil
+}
+
+// genWaxman builds a Waxman random geometric graph: n nodes uniform in
+// a square (the plane grows with √n, keeping node density constant),
+// each pair linked with probability α·exp(−d/(β·Dc)). Dc is a FIXED
+// characteristic reach — the diagonal of the default 20-node plane —
+// not the instance's own diameter: with a per-instance diameter the
+// link probability becomes scale-free and the link count grows as n²
+// (36-degree "ISP meshes" at n=200); a fixed reach keeps expected
+// degree roughly constant as the family scales, like a real backbone.
+// Components left over by the random pass are stitched together along
+// their closest inter-component pair, so the result is always
+// connected. Capacities draw from the GÉANT tiers, biased toward
+// 2.5G; latencies follow planar distance.
+func genWaxman(cfg Config, rng *rand.Rand) *topo.Topology {
+	const (
+		alpha = 0.55
+		beta  = 0.3
+	)
+	n := cfg.Size
+	t := topo.New(cfg.name())
+	side := 120 * math.Sqrt(float64(n))
+	ids := make([]topo.NodeID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = t.AddNodeAt(fmt.Sprintf("w%d", i), topo.KindRouter,
+			rng.Float64()*side, rng.Float64()*side)
+	}
+	charD := 120 * math.Sqrt(20) * math.Sqrt2 // ≈759 km: the 20-node plane diagonal
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := t.DistanceKm(ids[i], ids[j])
+			if rng.Float64() < alpha*math.Exp(-d/(beta*charD)) {
+				t.AddLinkKm(ids[i], ids[j], waxmanTier(rng))
+			}
+		}
+	}
+	stitchComponents(t, ids)
+	return t
+}
+
+func waxmanTier(rng *rand.Rand) float64 {
+	switch v := rng.Float64(); {
+	case v < 0.25:
+		return tier622M
+	case v < 0.75:
+		return tier25G
+	default:
+		return tier10G
+	}
+}
+
+// stitchComponents connects a possibly fragmented graph by repeatedly
+// adding a 2.5G link across the closest pair of nodes in different
+// components (ties broken by lowest node IDs, so the mend is
+// deterministic).
+func stitchComponents(t *topo.Topology, ids []topo.NodeID) {
+	comp := make([]int, len(ids))
+	var label func(root topo.NodeID, c int) // iterative DFS over links
+	label = func(root topo.NodeID, c int) {
+		stack := []topo.NodeID{root}
+		comp[root] = c
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, aid := range t.Out(n) {
+				to := t.Arc(aid).To
+				if comp[to] == 0 {
+					comp[to] = c
+					stack = append(stack, to)
+				}
+			}
+		}
+	}
+	for {
+		clear(comp)
+		next := 0
+		for _, id := range ids {
+			if comp[id] == 0 {
+				next++
+				label(id, next)
+			}
+		}
+		if next <= 1 {
+			return
+		}
+		// Closest pair spanning components 1 and any other.
+		best := math.Inf(1)
+		var ba, bb topo.NodeID = -1, -1
+		for _, a := range ids {
+			if comp[a] != 1 {
+				continue
+			}
+			for _, b := range ids {
+				if comp[b] == 1 {
+					continue
+				}
+				if d := t.DistanceKm(a, b); d < best {
+					best, ba, bb = d, a, b
+				}
+			}
+		}
+		t.AddLinkKm(ba, bb, tier25G)
+	}
+}
+
+// genRing builds an n-node cycle with ⌈n/6⌉ seeded chord links: the
+// ring carries 10G, chords 2.5G. Nodes sit on a circle sized so that
+// neighbors are ~60 km apart.
+func genRing(cfg Config, rng *rand.Rand) *topo.Topology {
+	n := cfg.Size
+	t := topo.New(cfg.name())
+	r := 60 * float64(n) / (2 * math.Pi)
+	ids := make([]topo.NodeID, n)
+	for i := 0; i < n; i++ {
+		th := 2 * math.Pi * float64(i) / float64(n)
+		ids[i] = t.AddNodeAt(fmt.Sprintf("r%d", i), topo.KindRouter,
+			r*math.Cos(th), r*math.Sin(th))
+	}
+	for i := 0; i < n; i++ {
+		t.AddLinkKm(ids[i], ids[(i+1)%n], tier10G)
+	}
+	for chords := (n + 5) / 6; chords > 0; {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		if _, dup := t.ArcBetween(ids[a], ids[b]); dup {
+			// Occupied pair (ring neighbor or repeated draw): consume
+			// the attempt so a tiny ring cannot loop forever.
+			chords--
+			continue
+		}
+		t.AddLinkKm(ids[a], ids[b], tier25G)
+		chords--
+	}
+	return t
+}
+
+// genTorus builds a w×w wrap-around grid: rows at 10G, columns at
+// 2.5G, 80 km spacing. Every node has degree 4 and there is no
+// capacity hierarchy, the opposite structural regime from the ISP
+// families. w ≥ 3 keeps the wrap links distinct from the grid links.
+func genTorus(cfg Config) *topo.Topology {
+	w := cfg.Size
+	t := topo.New(cfg.name())
+	ids := make([]topo.NodeID, w*w)
+	for r := 0; r < w; r++ {
+		for c := 0; c < w; c++ {
+			ids[r*w+c] = t.AddNodeAt(fmt.Sprintf("t%d-%d", r, c), topo.KindRouter,
+				float64(c)*80, float64(r)*80)
+		}
+	}
+	for r := 0; r < w; r++ {
+		for c := 0; c < w; c++ {
+			// Latency from the 80 km hop, not planar distance: wrap
+			// links span the grid visually but are one hop long.
+			t.AddLink(ids[r*w+c], ids[r*w+(c+1)%w], tier10G, 80/200000.0+0.0001)
+			t.AddLink(ids[r*w+c], ids[((r+1)%w)*w+c], tier25G, 80/200000.0+0.0001)
+		}
+	}
+	return t
+}
+
+// genISP builds a two-tier hierarchical ISP: c core PoPs (KindCore) on
+// a chorded 10G ring, each with 2–3 access routers (KindRouter)
+// dual-homed — a 2.5G uplink to the home core and a 622M protection
+// link to the next core around the ring. Only access routers exchange
+// traffic; the core transits, like the PoP-access topology of the
+// paper's Figure 6.
+func genISP(cfg Config, rng *rand.Rand) *topo.Topology {
+	c := cfg.Size
+	t := topo.New(cfg.name())
+	r := 90 * float64(c) / (2 * math.Pi) * 2
+	cores := make([]topo.NodeID, c)
+	for i := 0; i < c; i++ {
+		th := 2 * math.Pi * float64(i) / float64(c)
+		cores[i] = t.AddNodeAt(fmt.Sprintf("core%d", i), topo.KindCore,
+			r*math.Cos(th), r*math.Sin(th))
+	}
+	for i := 0; i < c; i++ {
+		t.AddLinkKm(cores[i], cores[(i+1)%c], tier10G)
+	}
+	// Core chords: one per four PoPs, skipping occupied pairs.
+	for chords := c / 4; chords > 0; {
+		a, b := rng.Intn(c), rng.Intn(c)
+		if a == b {
+			continue
+		}
+		if _, dup := t.ArcBetween(cores[a], cores[b]); dup {
+			chords--
+			continue
+		}
+		t.AddLinkKm(cores[a], cores[b], tier10G)
+		chords--
+	}
+	for i := 0; i < c; i++ {
+		access := 2 + rng.Intn(2)
+		for j := 0; j < access; j++ {
+			th := 2*math.Pi*float64(i)/float64(c) + (float64(j)-1)*0.08
+			rr := r + 60 + 20*rng.Float64()
+			a := t.AddNodeAt(fmt.Sprintf("acc%d-%d", i, j), topo.KindRouter,
+				rr*math.Cos(th), rr*math.Sin(th))
+			t.AddLinkKm(a, cores[i], tier25G)
+			t.AddLinkKm(a, cores[(i+1)%c], tier622M)
+		}
+	}
+	return t
+}

@@ -1,0 +1,267 @@
+// Package topogen generates parameterized, seed-deterministic
+// synthetic topologies with matched traffic matrices, so planner and
+// runtime invariants can be tested as properties over hundreds of
+// structurally diverse networks instead of being pinned to the three
+// topologies the paper evaluates.
+//
+// Five families are provided, spanning the structural regimes the
+// energy-critical-path analyses care about:
+//
+//   - fattree: the k-ary fat-tree datacenter fabric (massive path
+//     diversity, uniform capacities);
+//   - waxman: the classic Waxman random geometric graph (ISP-like
+//     irregular meshes with distance-correlated connectivity and mixed
+//     capacity tiers);
+//   - ring: a cycle with seeded chord links (sparse backbones where
+//     single exclusions matter);
+//   - torus: a 2-D wrap-around grid (regular meshes with no capacity
+//     hierarchy);
+//   - isp: a two-tier hierarchical ISP — a chorded core ring with
+//     dual-homed access routers per PoP (the PoP-access structure of
+//     the paper's Figure 6 topology, parameterized).
+//
+// Every generator is deterministic: the same (family, size, seed)
+// produce a byte-identical topology — same node order, same link
+// order, same capacities and positions — and therefore the same
+// Fingerprint, on any machine and under any GOMAXPROCS. Generated
+// topologies are always connected and pass topo.Validate.
+package topogen
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+
+	"response/internal/mcf"
+	"response/internal/topo"
+	"response/internal/traffic"
+)
+
+// Family names a generator family.
+type Family string
+
+// Generator families.
+const (
+	FamilyFatTree Family = "fattree"
+	FamilyWaxman  Family = "waxman"
+	FamilyRing    Family = "ring"
+	FamilyTorus   Family = "torus"
+	FamilyISP     Family = "isp"
+)
+
+// Families returns every generator family in deterministic order.
+func Families() []Family {
+	return []Family{FamilyFatTree, FamilyWaxman, FamilyRing, FamilyTorus, FamilyISP}
+}
+
+// Config parameterizes one generated instance.
+type Config struct {
+	Family Family
+	// Size steers the scale; its meaning is per family:
+	//
+	//	fattree: arity k (even, ≥ 2; default 4) → 5k²/4 switches
+	//	waxman:  node count (≥ 2; default 20)
+	//	ring:    node count (≥ 3; default 8)
+	//	torus:   grid side w (≥ 3; default 4) → w² nodes
+	//	isp:     core PoP count (≥ 3; default 4)
+	Size int
+	// Seed drives every random choice (positions, edge selection,
+	// capacity tiers, access-router counts). Identical Config ⇒
+	// byte-identical Instance.
+	Seed int64
+	// PeakUtil scales the matched gravity matrix to this fraction of
+	// the topology's maximum routable load (default 0.6, the operating
+	// point the scenario catalog uses; ≤ 0 keeps the default).
+	PeakUtil float64
+	// MaxEndpoints, when > 0, caps the origin-destination universe at
+	// a deterministic random subset of that many nodes. Large sweep
+	// instances use it so that pair count stays fixed while topology
+	// size grows.
+	MaxEndpoints int
+}
+
+func (c *Config) defaults() error {
+	switch c.Family {
+	case FamilyFatTree:
+		if c.Size == 0 {
+			c.Size = 4
+		}
+		if c.Size < 2 || c.Size%2 != 0 {
+			return fmt.Errorf("topogen: fattree size must be even and >= 2, got %d", c.Size)
+		}
+	case FamilyWaxman:
+		if c.Size == 0 {
+			c.Size = 20
+		}
+		if c.Size < 2 {
+			return fmt.Errorf("topogen: waxman size must be >= 2, got %d", c.Size)
+		}
+	case FamilyRing:
+		if c.Size == 0 {
+			c.Size = 8
+		}
+		if c.Size < 3 {
+			return fmt.Errorf("topogen: ring size must be >= 3, got %d", c.Size)
+		}
+	case FamilyTorus:
+		if c.Size == 0 {
+			c.Size = 4
+		}
+		if c.Size < 3 {
+			return fmt.Errorf("topogen: torus side must be >= 3, got %d", c.Size)
+		}
+	case FamilyISP:
+		if c.Size == 0 {
+			c.Size = 4
+		}
+		if c.Size < 3 {
+			return fmt.Errorf("topogen: isp core count must be >= 3, got %d", c.Size)
+		}
+	default:
+		return fmt.Errorf("topogen: unknown family %q (have %v)", c.Family, Families())
+	}
+	if c.PeakUtil <= 0 {
+		c.PeakUtil = 0.6
+	}
+	return nil
+}
+
+// name is the canonical topology name of a config; the topology
+// fingerprint covers it, so instances of different families, sizes or
+// seeds never collide.
+func (c Config) name() string {
+	return fmt.Sprintf("gen-%s-%d-s%d", c.Family, c.Size, c.Seed)
+}
+
+// Instance is one generated network plus its matched workload.
+type Instance struct {
+	Config Config
+	Topo   *topo.Topology
+	// Endpoints is the origin-destination universe the matched matrix
+	// covers, in ascending node-ID order.
+	Endpoints []topo.NodeID
+	// Shape is the unit capacity-gravity demand shape over the
+	// endpoints (total rate 1); invariant checkers scale it themselves.
+	Shape *traffic.Matrix
+	// TM is the matched workload: Shape scaled so that the aggregate
+	// demand is PeakUtil × the maximum load routable on the full
+	// topology.
+	TM *traffic.Matrix
+	// MaxScale is the maximum feasible multiplier of Shape on the full
+	// topology (the scale TM was derived from).
+	MaxScale float64
+}
+
+// Generate builds the instance described by cfg. The build is
+// deterministic and the resulting topology is connected and valid.
+func Generate(cfg Config) (*Instance, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var t *topo.Topology
+	var err error
+	switch cfg.Family {
+	case FamilyFatTree:
+		t, err = genFatTree(cfg)
+	case FamilyWaxman:
+		t = genWaxman(cfg, rng)
+	case FamilyRing:
+		t = genRing(cfg, rng)
+	case FamilyTorus:
+		t = genTorus(cfg)
+	case FamilyISP:
+		t = genISP(cfg, rng)
+	}
+	if err != nil {
+		return nil, err
+	}
+	t.Name = cfg.name()
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("topogen: generated topology invalid: %w", err)
+	}
+	if !t.Connected() {
+		return nil, fmt.Errorf("topogen: generated topology %s is disconnected", t.Name)
+	}
+
+	inst := &Instance{Config: cfg, Topo: t}
+	inst.Endpoints = chooseEndpoints(t, cfg, rng)
+	inst.Shape, inst.TM, inst.MaxScale = matchedMatrix(t, inst.Endpoints, cfg.PeakUtil)
+	return inst, nil
+}
+
+// chooseEndpoints selects the OD universe: the family's natural
+// endpoints, capped at MaxEndpoints by a deterministic random subset.
+func chooseEndpoints(t *topo.Topology, cfg Config, rng *rand.Rand) []topo.NodeID {
+	var eps []topo.NodeID
+	switch cfg.Family {
+	case FamilyFatTree:
+		// Demand originates below the edge layer; with no hosts
+		// attached, the edge switches are the natural endpoints.
+		eps = t.NodesOfKind(topo.KindEdge)
+	case FamilyISP:
+		// Access routers exchange the traffic; the core only transits.
+		eps = t.NodesOfKind(topo.KindRouter)
+	default:
+		for _, n := range t.Nodes() {
+			if n.Kind != topo.KindHost {
+				eps = append(eps, n.ID)
+			}
+		}
+	}
+	if cfg.MaxEndpoints > 0 && len(eps) > cfg.MaxEndpoints {
+		rng.Shuffle(len(eps), func(i, j int) { eps[i], eps[j] = eps[j], eps[i] })
+		eps = eps[:cfg.MaxEndpoints]
+		sort.Slice(eps, func(i, j int) bool { return eps[i] < eps[j] })
+	}
+	return eps
+}
+
+// matchedMatrix derives the instance workload: the capacity-gravity
+// shape over the endpoints, anchored at peakUtil of the largest load
+// the full topology can route.
+func matchedMatrix(t *topo.Topology, eps []topo.NodeID, peakUtil float64) (*traffic.Matrix, *traffic.Matrix, float64) {
+	if len(eps) < 2 {
+		return traffic.NewMatrix(), traffic.NewMatrix(), 0
+	}
+	base := traffic.Gravity(t, traffic.GravityOpts{Nodes: eps, TotalRate: 1})
+	scale := mcf.MaxFeasibleScale(t, base, mcf.RouteOpts{}, 0.05)
+	if scale <= 0 {
+		return base, traffic.NewMatrix(), 0
+	}
+	return base, base.Scale(scale * peakUtil), scale
+}
+
+// Fingerprint hashes the full instance — topology structure plus every
+// demand of the matched matrix — into a stable 64-bit value.
+// Determinism tests pin it per family.
+func (in *Instance) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.BigEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	u64(in.Topo.Fingerprint())
+	u64(uint64(len(in.Endpoints)))
+	for _, e := range in.Endpoints {
+		u64(uint64(e))
+	}
+	demands := in.TM.Demands()
+	u64(uint64(len(demands)))
+	for _, d := range demands {
+		u64(uint64(d.O))
+		u64(uint64(d.D))
+		u64(math.Float64bits(d.Rate))
+	}
+	return h.Sum64()
+}
+
+// String summarizes the instance.
+func (in *Instance) String() string {
+	return fmt.Sprintf("%s: %d nodes, %d links, %d endpoints, %d demands",
+		in.Topo.Name, in.Topo.NumNodes(), in.Topo.NumLinks(), len(in.Endpoints), in.TM.Len())
+}

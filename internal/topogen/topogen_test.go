@@ -1,0 +1,154 @@
+package topogen
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestGenerateDeterminism: the same (family, size, seed) must produce a
+// byte-identical instance — same topology fingerprint, same endpoints,
+// same matched matrix — on repeated runs and regardless of GOMAXPROCS.
+func TestGenerateDeterminism(t *testing.T) {
+	cfgs := []Config{
+		{Family: FamilyFatTree, Size: 4, Seed: 7},
+		{Family: FamilyWaxman, Size: 18, Seed: 7},
+		{Family: FamilyRing, Size: 9, Seed: 7},
+		{Family: FamilyTorus, Size: 4, Seed: 7},
+		{Family: FamilyISP, Size: 4, Seed: 7},
+	}
+	for _, cfg := range cfgs {
+		cfg := cfg
+		t.Run(string(cfg.Family), func(t *testing.T) {
+			a, err := Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Fingerprint() != b.Fingerprint() {
+				t.Fatalf("two runs differ: %016x vs %016x", a.Fingerprint(), b.Fingerprint())
+			}
+			prev := runtime.GOMAXPROCS(1)
+			c, err := Generate(cfg)
+			runtime.GOMAXPROCS(prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Fingerprint() != c.Fingerprint() {
+				t.Fatalf("GOMAXPROCS=1 run differs: %016x vs %016x", a.Fingerprint(), c.Fingerprint())
+			}
+		})
+	}
+}
+
+// TestGenerateSeedsAndSizesDiffer: seeds must matter for the seeded
+// families, and size must matter everywhere.
+func TestGenerateSeedsAndSizesDiffer(t *testing.T) {
+	for _, fam := range []Family{FamilyWaxman, FamilyRing, FamilyISP} {
+		a, err := Generate(Config{Family: fam, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(Config{Family: fam, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Fingerprint() == b.Fingerprint() {
+			t.Errorf("%s: seeds 1 and 2 collide", fam)
+		}
+	}
+	for _, fam := range Families() {
+		small, err := Generate(Config{Family: fam, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bigger := small.Config
+		bigger.Size += 2 // +2 keeps fat-tree arity even
+		big, err := Generate(bigger)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if big.Topo.NumNodes() <= small.Topo.NumNodes() {
+			t.Errorf("%s: size %d has %d nodes, size %d has %d", fam,
+				small.Config.Size, small.Topo.NumNodes(), bigger.Size, big.Topo.NumNodes())
+		}
+	}
+}
+
+// TestGenerateValidity: every family at several sizes and seeds yields
+// a valid, connected topology with a routable matched workload.
+func TestGenerateValidity(t *testing.T) {
+	for _, fam := range Families() {
+		sizes := map[Family][]int{
+			FamilyFatTree: {2, 4, 6},
+			FamilyWaxman:  {2, 5, 16, 40},
+			FamilyRing:    {3, 7, 24},
+			FamilyTorus:   {3, 5},
+			FamilyISP:     {3, 6},
+		}[fam]
+		for _, size := range sizes {
+			for _, seed := range []int64{0, 1, 99} {
+				inst, err := Generate(Config{Family: fam, Size: size, Seed: seed})
+				if err != nil {
+					t.Fatalf("%s-%d-s%d: %v", fam, size, seed, err)
+				}
+				if err := inst.Topo.Validate(); err != nil {
+					t.Errorf("%s: %v", inst.Topo.Name, err)
+				}
+				if !inst.Topo.Connected() {
+					t.Errorf("%s: disconnected", inst.Topo.Name)
+				}
+				if len(inst.Endpoints) >= 2 {
+					if inst.MaxScale <= 0 || inst.TM.Total() <= 0 {
+						t.Errorf("%s: degenerate workload (scale %g, total %g)",
+							inst.Topo.Name, inst.MaxScale, inst.TM.Total())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGenerateEndpointCap: MaxEndpoints caps the OD universe with a
+// deterministic, sorted subset.
+func TestGenerateEndpointCap(t *testing.T) {
+	cfg := Config{Family: FamilyWaxman, Size: 30, Seed: 3, MaxEndpoints: 8}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Endpoints) != 8 {
+		t.Fatalf("endpoints = %d, want 8", len(a.Endpoints))
+	}
+	for i := 1; i < len(a.Endpoints); i++ {
+		if a.Endpoints[i-1] >= a.Endpoints[i] {
+			t.Fatalf("endpoints not sorted: %v", a.Endpoints)
+		}
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("capped endpoint selection is not deterministic")
+	}
+}
+
+// TestGenerateRejectsBadConfigs: invalid sizes and unknown families
+// return errors instead of panicking.
+func TestGenerateRejectsBadConfigs(t *testing.T) {
+	for _, cfg := range []Config{
+		{Family: "nope"},
+		{Family: FamilyFatTree, Size: 3},
+		{Family: FamilyWaxman, Size: 1},
+		{Family: FamilyRing, Size: 2},
+		{Family: FamilyTorus, Size: 2},
+		{Family: FamilyISP, Size: 2},
+	} {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("Generate(%+v) = nil error, want error", cfg)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package verify
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"response"
+	"response/internal/core"
+	"response/internal/lifecycle"
+	"response/internal/mcf"
+	"response/internal/power"
+	"response/internal/sim"
+	"response/internal/te"
+	"response/internal/topo"
+	"response/internal/traffic"
+)
+
+// DiffGreedy cross-checks the delta-rerouting greedy engine against
+// its from-scratch reference (mcf's FullReroute mode) on one demand
+// set: for every candidate ordering, the incremental and reference
+// runs must agree on the active set, the routing and the resulting
+// power. This is the mcf equivalence property lifted from three pinned
+// topologies to arbitrary generated instances.
+func DiffGreedy(t *topo.Topology, demands []traffic.Demand, m power.Model, seed int64) *Report {
+	if m == nil {
+		m = power.Cisco12000{}
+	}
+	r := &Report{Name: t.Name}
+	for _, ord := range []mcf.Order{mcf.PowerDesc, mcf.PowerAsc, mcf.DegreeAsc, mcf.Random} {
+		opts := mcf.GreedyOpts{Order: ord, Seed: seed}
+		aInc, rInc, errInc := mcf.GreedyMinSubset(t, demands, m, opts)
+		opts.FullReroute = true
+		aRef, rRef, errRef := mcf.GreedyMinSubset(t, demands, m, opts)
+		label := fmt.Sprintf("order %d", ord)
+		if (errInc == nil) != (errRef == nil) {
+			r.addf("diff-greedy", "%s: incremental err=%v, reference err=%v", label, errInc, errRef)
+			continue
+		}
+		if errInc != nil {
+			continue
+		}
+		if !aInc.Equal(aRef) {
+			r.addf("diff-greedy", "%s: active sets differ (%016x vs %016x)",
+				label, aInc.Fingerprint(), aRef.Fingerprint())
+		}
+		if !routingsEqual(rInc, rRef) {
+			r.addf("diff-greedy", "%s: routings differ", label)
+		}
+		wi, wr := power.NetworkWatts(t, m, aInc), power.NetworkWatts(t, m, aRef)
+		if math.Abs(wi-wr) > eps {
+			r.addf("diff-greedy", "%s: power differs: %.3f vs %.3f W", label, wi, wr)
+		}
+	}
+	return r
+}
+
+func routingsEqual(a, b *mcf.Routing) bool {
+	if len(a.Paths) != len(b.Paths) {
+		return false
+	}
+	for k, p := range a.Paths {
+		q, ok := b.Paths[k]
+		if !ok || !p.Equal(q) {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffAllocators cross-checks the simulator's incremental
+// component-based max-min allocator against the global FullAllocate
+// reference: two simulators carrying identical flows over tb's
+// installed levels must settle to identical per-flow rates and an
+// identical state fingerprint.
+func DiffAllocators(t *topo.Topology, tb *core.Tables, tm *traffic.Matrix) *Report {
+	r := &Report{Name: t.Name}
+	build := func(full bool) (*sim.Simulator, []*sim.Flow, error) {
+		s := sim.New(t, sim.Opts{
+			WakeUpDelay:    1,
+			SleepAfterIdle: 30,
+			PinnedOn:       tb.AlwaysOnSet,
+			FullAllocate:   full,
+		})
+		var flows []*sim.Flow
+		for _, d := range tm.Demands() {
+			ps, ok := tb.PathSetFor(d.O, d.D)
+			if !ok {
+				continue
+			}
+			f, err := s.AddFlow(d.O, d.D, d.Rate, ps.Levels())
+			if err != nil {
+				return nil, nil, err
+			}
+			flows = append(flows, f)
+		}
+		s.Run(120)
+		return s, flows, nil
+	}
+	sInc, fInc, errInc := build(false)
+	sRef, fRef, errRef := build(true)
+	if (errInc == nil) != (errRef == nil) || errInc != nil {
+		if (errInc == nil) != (errRef == nil) {
+			r.addf("diff-alloc", "incremental err=%v, reference err=%v", errInc, errRef)
+		}
+		return r
+	}
+	if fi, fr := sInc.StateFingerprint(), sRef.StateFingerprint(); fi != fr {
+		r.addf("diff-alloc", "state fingerprints differ: %016x vs %016x", fi, fr)
+	}
+	for i := range fInc {
+		ri, rr := fInc[i].Rate(), fRef[i].Rate()
+		if math.Abs(ri-rr) > 1e-6*(1+rr) {
+			r.addf("diff-alloc", "flow %d->%d rate %.6g vs reference %.6g",
+				fInc[i].O, fInc[i].D, ri, rr)
+		}
+	}
+	if ui, ur := sInc.MaxArcUtil(), sRef.MaxArcUtil(); math.Abs(ui-ur) > 1e-9 {
+		r.addf("diff-alloc", "max utilization %.9f vs reference %.9f", ui, ur)
+	}
+	return r
+}
+
+// DiffSwap cross-checks the lifecycle hot-swap against a cold restart:
+// a controller that starts on planA and hot-swaps to planB must reach
+// the same steady state — per-flow rates and the simulator state
+// fingerprint — as a controller started fresh on planB. Demands are
+// derated below the activation threshold so neither rig shifts and the
+// steady states are comparable.
+func DiffSwap(planA, planB *response.Plan, tm *traffic.Matrix) *Report {
+	t := planA.Topology()
+	r := &Report{Name: t.Name}
+	// Derate the workload so that even fully aggregated on either
+	// plan's always-on paths no arc crosses a quarter of the 0.9
+	// activation threshold: the oracle needs both rigs shift-free.
+	worst := math.Max(AlwaysOnMaxUtil(t, planA, tm), AlwaysOnMaxUtil(t, planB, tm))
+	derate := 1.0
+	if worst > 0 {
+		derate = 0.25 * 0.9 / worst
+	}
+	if derate > 1 {
+		derate = 1
+	}
+
+	type rig struct {
+		s     *sim.Simulator
+		c     *te.Controller
+		flows []*sim.Flow
+	}
+	build := func(p *response.Plan) (rig, error) {
+		s := sim.New(t, sim.Opts{
+			WakeUpDelay:    5,
+			SleepAfterIdle: 60,
+			PinnedOn:       p.AlwaysOnSet(),
+		})
+		c := te.NewController(s, te.Opts{Threshold: 0.9, Gamma: 0.5, Period: 60})
+		rg := rig{s: s, c: c}
+		for _, d := range tm.Demands() {
+			ps, ok := p.PathSet(d.O, d.D)
+			if !ok {
+				continue
+			}
+			f, err := s.AddFlow(d.O, d.D, d.Rate*derate, ps.Levels())
+			if err != nil {
+				return rig{}, err
+			}
+			c.Manage(f)
+			rg.flows = append(rg.flows, f)
+		}
+		c.Start()
+		return rg, nil
+	}
+
+	swapped, errA := build(planA)
+	fresh, errB := build(planB)
+	if errA != nil || errB != nil {
+		r.addf("diff-swap", "rig build failed: %v / %v", errA, errB)
+		return r
+	}
+	swapped.s.Run(120)
+	mgr := lifecycle.New(swapped.s, swapped.c, planA,
+		func(ctx context.Context, live *traffic.Matrix) (*response.Plan, error) {
+			return nil, fmt.Errorf("verify: replan must not fire during StageAndSwap")
+		}, lifecycle.Opts{CheckEvery: 1e9, NoPowerGate: true})
+	mgr.Start()
+	if err := mgr.StageAndSwap(planB); err != nil {
+		r.addf("diff-swap", "stage: %v", err)
+		return r
+	}
+	// Drain retired tables and let idle links fall back asleep, on both
+	// rigs, so the steady states are history-free.
+	swapped.s.Run(1200)
+	fresh.s.Run(1200)
+	if met := mgr.Metrics(); met.SwapsDone != 1 {
+		if met.Unchanged == 1 {
+			// Identical tables: nothing migrated, states must still match.
+		} else {
+			r.addf("diff-swap", "swap did not complete: %+v", met)
+			return r
+		}
+	}
+	if swapped.c.Shifts != 0 || fresh.c.Shifts != 0 {
+		r.addf("diff-swap", "controller shifted at derated load (%d/%d); oracle regime broken",
+			swapped.c.Shifts, fresh.c.Shifts)
+		return r
+	}
+
+	a, b := steadyRates(swapped.s), steadyRates(fresh.s)
+	if len(a) != len(b) {
+		r.addf("diff-swap", "live flow count %d vs fresh %d", len(a), len(b))
+		return r
+	}
+	for i := range a {
+		if a[i][0] != b[i][0] || a[i][1] != b[i][1] || a[i][2] != b[i][2] {
+			r.addf("diff-swap", "flow multiset mismatch at %d: %v vs %v", i, a[i], b[i])
+			return r
+		}
+		if math.Abs(a[i][3]-b[i][3]) > 1e-9*(1+math.Abs(b[i][3])) {
+			r.addf("diff-swap", "pair %g->%g: post-swap rate %g vs fresh %g",
+				a[i][0], a[i][1], a[i][3], b[i][3])
+		}
+	}
+	if fa, fb := swapped.s.StateFingerprint(), fresh.s.StateFingerprint(); fa != fb {
+		r.addf("diff-swap", "state fingerprint %016x vs fresh %016x", fa, fb)
+	}
+	return r
+}
+
+// AlwaysOnMaxUtil returns the worst arc utilization reached when every
+// demand of tm aggregates onto its always-on path under plan — the
+// quantity swap rigs derate against to stay shift-free.
+func AlwaysOnMaxUtil(t *topo.Topology, plan *response.Plan, tm *traffic.Matrix) float64 {
+	load := make([]float64, t.NumArcs())
+	for _, d := range tm.Demands() {
+		ps, ok := plan.PathSet(d.O, d.D)
+		if !ok {
+			continue
+		}
+		for _, aid := range ps.AlwaysOn.Arcs {
+			load[aid] += d.Rate
+		}
+	}
+	var worst float64
+	for i, l := range load {
+		if l == 0 {
+			continue
+		}
+		if u := l / t.Arc(topo.ArcID(i)).Capacity; u > worst {
+			worst = u
+		}
+	}
+	return worst
+}
+
+// steadyRates returns the sorted (o, d, demand, rate) view of a
+// simulator's live flows, the comparison key of the swap oracle.
+func steadyRates(s *sim.Simulator) [][4]float64 {
+	var out [][4]float64
+	for _, f := range s.Flows() {
+		if f.Removed() {
+			continue
+		}
+		out = append(out, [4]float64{float64(f.O), float64(f.D), f.Demand, f.Rate()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := 0; k < 4; k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}

@@ -98,3 +98,12 @@ func RunScenario(name string, cfg Scenario) (ScenarioResult, error) {
 func NewGeantDiurnalReplay(cfg Scenario) (*Replay, error) {
 	return scenario.NewGeantDiurnal(cfg)
 }
+
+// NewDiurnalReplay is NewGeantDiurnalReplay over an arbitrary topology
+// — built-in or generated with response/topogen — so the scenario
+// catalog (including the lifecycle replan loop) can drive any network.
+// endpoints nil selects the deterministic random 70 % of the
+// topology's natural endpoints, the paper's §5.1 procedure.
+func NewDiurnalReplay(t *topology.Topology, endpoints []topology.NodeID, cfg Scenario) (*Replay, error) {
+	return scenario.NewDiurnal(t, endpoints, cfg)
+}

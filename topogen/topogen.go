@@ -1,0 +1,58 @@
+// Package topogen is the public synthetic-network surface of the
+// response module: parameterized, seed-deterministic generators for
+// five structural families — fat-tree(k), Waxman random geometric,
+// ring, torus, and a two-tier hierarchical ISP — each emitting a valid
+// connected topology plus a matched gravity traffic matrix.
+//
+// It exists so that planner and runtime invariants can be exercised on
+// hundreds of structurally diverse networks instead of the three fixed
+// topologies the paper evaluates:
+//
+//	inst, err := topogen.Generate(topogen.Config{
+//	        Family: topogen.FamilyWaxman, Size: 40, Seed: 7,
+//	})
+//	plan, err := response.NewPlanner(
+//	        response.WithEndpoints(inst.Endpoints),
+//	).Plan(ctx, inst.Topo)
+//
+// Identical Config values produce byte-identical instances (same node
+// and link order, same capacities, same matrix) on any machine and
+// under any GOMAXPROCS, so generated instances can be fingerprinted
+// and pinned exactly like the built-in topologies.
+//
+// It is a thin re-export layer over the module's internal generator;
+// see DESIGN.md §7 for the family parameters and the invariant list
+// they are verified against.
+package topogen
+
+import itg "response/internal/topogen"
+
+// Core generator types.
+type (
+	// Family names a generator family.
+	Family = itg.Family
+	// Config parameterizes one generated instance (family, size, seed,
+	// operating point, endpoint cap).
+	Config = itg.Config
+	// Instance is one generated network plus its matched workload:
+	// topology, endpoint universe, unit demand shape, scaled traffic
+	// matrix and the topology's maximum routable scale.
+	Instance = itg.Instance
+)
+
+// Generator families.
+const (
+	FamilyFatTree = itg.FamilyFatTree
+	FamilyWaxman  = itg.FamilyWaxman
+	FamilyRing    = itg.FamilyRing
+	FamilyTorus   = itg.FamilyTorus
+	FamilyISP     = itg.FamilyISP
+)
+
+// Families returns every generator family in deterministic order.
+func Families() []Family { return itg.Families() }
+
+// Generate builds the instance described by cfg: a valid, connected
+// topology and a matched gravity workload, deterministically from
+// (family, size, seed).
+func Generate(cfg Config) (*Instance, error) { return itg.Generate(cfg) }
