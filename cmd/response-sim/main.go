@@ -8,9 +8,14 @@
 // Usage:
 //
 //	response-sim -fig 4|7|8a|8b|9|web|all
-//	response-sim -scenario diurnal|flash|storm|repair|click|replan \
+//	response-sim -scenario diurnal|flash|storm|repair|click|replan|srlgstorm|chaos \
 //	             [-flows N] [-seed S] [-duration SECONDS] [-full] [-power] \
-//	             [-trace events.jsonl]
+//	             [-fail-rate R] [-chaos-seed S] [-trace events.jsonl]
+//
+// -fail-rate injects control-plane faults into the lifecycle replan
+// loop at aggregate rate R (0..1), split across fault classes;
+// -chaos-seed draws the injection sequence from its own seed. A run
+// that ends in the Degraded fallback exits non-zero.
 package main
 
 import (
@@ -23,8 +28,24 @@ import (
 	"strings"
 
 	"response/experiments"
+	"response/faultinject"
 	"response/simulate"
 )
+
+// chaosFaults splits one aggregate -fail-rate knob across the fault
+// classes: mostly plain replan errors, a sprinkling of infeasibility,
+// panics, blown deadlines and artifact corruption.
+func chaosFaults(rate float64, seed int64) faultinject.Config {
+	return faultinject.Config{
+		Seed:           seed,
+		ErrorRate:      0.50 * rate,
+		InfeasibleRate: 0.10 * rate,
+		PanicRate:      0.10 * rate,
+		SlowRate:       0.10 * rate,
+		CorruptRate:    0.15 * rate,
+		TruncateRate:   0.05 * rate,
+	}
+}
 
 func main() {
 	fig := flag.String("fig", "all", "experiment: 4, 7, 8a, 8b, 9, web or all")
@@ -35,6 +56,8 @@ func main() {
 	duration := flag.Float64("duration", 6*3600, "simulated seconds for -scenario runs")
 	full := flag.Bool("full", false, "use the global reference allocator (cross-check mode)")
 	meter := flag.Bool("power", false, "meter power during the scenario")
+	failRate := flag.Float64("fail-rate", 0, "aggregate control-plane fault rate (0..1) for -scenario runs")
+	chaosSeed := flag.Int64("chaos-seed", 0, "fault-injection seed (default: scenario seed + 1)")
 	tracePath := flag.String("trace", "", "write the JSONL event trace of a -scenario run to this file")
 	flag.Parse()
 
@@ -50,6 +73,13 @@ func main() {
 			Duration:     *duration,
 			FullAllocate: *full,
 			Power:        *meter,
+		}
+		if *failRate < 0 || *failRate > 1 {
+			fmt.Fprintf(os.Stderr, "response-sim: -fail-rate %v outside [0, 1]\n", *failRate)
+			os.Exit(2)
+		}
+		if *failRate > 0 {
+			cfg.Faults = chaosFaults(*failRate, *chaosSeed)
 		}
 		var flush func()
 		if *tracePath != "" {
@@ -70,6 +100,15 @@ func main() {
 		res.Print(os.Stdout)
 		if flush != nil {
 			flush()
+		}
+		if !res.Healthy() {
+			fmt.Fprintf(os.Stderr,
+				"response-sim: scenario %s ended in the Degraded fallback: "+
+					"%d failed replan cycles, %d retries, degraded entered %d / exited %d "+
+					"(%.0f s pinned all-on) — the control plane never recovered\n",
+				*scen, res.ReplanFailed, res.Retries,
+				res.DegradedEntered, res.DegradedExited, res.DegradedSec)
+			os.Exit(1)
 		}
 		return
 	}

@@ -57,6 +57,21 @@
 // only once the new always-on path forwards, and the old tables drain
 // before retirement. See DESIGN.md §6.
 //
+// # Failure model and degraded mode
+//
+// The control loop is built to be broken: response/faultinject wraps
+// the replan and artifact paths with seed-deterministic faults
+// (errors, infeasibility, panics, blown deadlines, corrupt or
+// truncated artifacts), and the lifecycle manager classifies every
+// outcome, retries with decorrelated-jitter backoff, and after
+// DegradedAfter consecutive failed cycles pins the all-on table — the
+// paper's always-correct fallback made an explicit Degraded state,
+// exited on the first successful cycle. On the network side, topogen
+// instances carry derived shared-risk link groups (pod fabrics, PoP
+// bundles, geometric conduits) and the scenario catalog cuts whole
+// groups with statistics-driven cascading failures behind them. See
+// DESIGN.md §8.
+//
 // # Companion packages
 //
 //   - response/topology:      network model and builders (fat-tree, GÉANT, ...)
@@ -64,6 +79,7 @@
 //   - response/trafficmatrix: demand matrices, gravity model, synthetic traces
 //   - response/simulate:      discrete-event simulator + REsPoNseTE controller
 //   - response/lifecycle:     deviation-triggered replanning + table hot-swap
+//   - response/faultinject:   seed-deterministic control-plane fault injection
 //   - response/experiments:   one entry point per reproduced paper figure
 //
 // Correctness is property-based, not only pinned: response/topogen

@@ -10,6 +10,7 @@ import (
 	"response"
 	"response/internal/lifecycle"
 	"response/internal/power"
+	"response/internal/scenario"
 	"response/internal/sim"
 	"response/internal/te"
 	"response/internal/topogen"
@@ -48,6 +49,18 @@ type GenPoint struct {
 
 	// Violations counts invariant-checker findings (0 = clean).
 	Violations int `json:"violations"`
+
+	// SRLG-storm drill fields (Scenario == "srlgstorm" marks these
+	// points): a correlated-failure storm cuts whole shared-risk groups
+	// on the loaded instance, overloaded survivors cascade, and
+	// RecoverySec records how long the network took from the storm to a
+	// whole data plane again — every link repaired, no flow starving,
+	// lifecycle manager out of any fallback.
+	Scenario    string  `json:"scenario,omitempty"`
+	FailedLinks int     `json:"failed_links,omitempty"`
+	Cascaded    int     `json:"cascaded,omitempty"`
+	RecoverySec float64 `json:"recovery_sec,omitempty"`
+	DegradedSec float64 `json:"degraded_sec,omitempty"`
 }
 
 // GenSweep is the result of RunGeneratedSweep: plan-time and swap-cost
@@ -72,10 +85,29 @@ func (g GenSweep) Print(w io.Writer) {
 	fmt.Fprintf(w, "Generated scale sweep (%d instances)\n", len(g.Points))
 	fmt.Fprintf(w, "  %-10s %5s %6s %6s %6s %9s %7s %7s %9s %9s %5s\n",
 		"family", "size", "nodes", "links", "pairs", "plan ms", "aon%", "share", "swap ms", "migrated", "viol")
+	storms := false
 	for _, p := range g.Points {
+		if p.Scenario != "" {
+			storms = true
+			continue
+		}
 		fmt.Fprintf(w, "  %-10s %5d %6d %6d %6d %9.1f %7.1f %7.2f %9.2f %9d %5d\n",
 			p.Family, p.Size, p.Nodes, p.Links, p.Pairs, p.PlanMs,
 			p.AlwaysOnPct, p.TableShare, p.SwapMs, p.MigratedFlows, p.Violations)
+	}
+	if !storms {
+		return
+	}
+	fmt.Fprintf(w, "  SRLG-storm drills\n")
+	fmt.Fprintf(w, "  %-10s %5s %6s %6s %6s %8s %12s %12s %5s\n",
+		"family", "size", "nodes", "links", "flows", "failed", "recovery s", "degraded s", "viol")
+	for _, p := range g.Points {
+		if p.Scenario == "" {
+			continue
+		}
+		fmt.Fprintf(w, "  %-10s %5d %6d %6d %6d %8d %12.0f %12.0f %5d\n",
+			p.Family, p.Size, p.Nodes, p.Links, p.Flows,
+			p.FailedLinks, p.RecoverySec, p.DegradedSec, p.Violations)
 	}
 }
 
@@ -144,7 +176,103 @@ func RunGeneratedSweep(opts GenSweepOpts) (GenSweep, error) {
 		}
 		sweep.Points = append(sweep.Points, pt)
 	}
+	// One SRLG-storm drill per family rides along: a correlated cut on
+	// a loaded instance, timed to recovery. The drill points raise the
+	// endpoint cap (so the pair universe — and thus the blast radius —
+	// is not artificially small) and double the flow count.
+	for _, cfg := range genChaosConfigs(opts.Quick) {
+		pt, err := runGenChaosPoint(cfg, 2*opts.Flows)
+		if err != nil {
+			return sweep, fmt.Errorf("gensweep srlgstorm %s-%d: %w", cfg.Family, cfg.Size, err)
+		}
+		sweep.Points = append(sweep.Points, pt)
+	}
 	return sweep, nil
+}
+
+// genChaosConfigs returns the SRLG-storm drill instances: one per
+// sweep family, with the endpoint universe uncapped to twice the scale
+// points' limit.
+func genChaosConfigs(quick bool) []topogen.Config {
+	ft, wx := 6, 50
+	if quick {
+		ft, wx = 4, 25
+	}
+	return []topogen.Config{
+		{Family: topogen.FamilyFatTree, Size: ft, Seed: 1, PeakUtil: 0.5, MaxEndpoints: 40},
+		{Family: topogen.FamilyWaxman, Size: wx, Seed: 1, PeakUtil: 0.5, MaxEndpoints: 40},
+	}
+}
+
+// runGenChaosPoint loads the instance into a diurnal replay, cuts two
+// shared-risk groups at one hour with cascades behind them, and
+// advances in one-minute windows until the data plane is whole again:
+// every link repaired, no flow starving, the lifecycle manager healthy.
+func runGenChaosPoint(cfg topogen.Config, flows int) (GenPoint, error) {
+	inst, err := topogen.Generate(cfg)
+	if err != nil {
+		return GenPoint{}, err
+	}
+	if rep := verify.CheckSRLGs(inst.Topo, inst.SRLGs); !rep.Ok() {
+		return GenPoint{}, rep.Err()
+	}
+	pt := GenPoint{
+		Family:   string(cfg.Family),
+		Size:     cfg.Size,
+		Seed:     cfg.Seed,
+		Nodes:    inst.Topo.NumNodes(),
+		Links:    inst.Topo.NumLinks(),
+		Flows:    flows,
+		Scenario: "srlgstorm",
+	}
+	const stormAt = 3600
+	scfg := scenario.Config{
+		Seed: cfg.Seed, Flows: flows, Duration: 4 * 3600, StepSec: 900, PeakUtil: 0.5,
+		SRLGs: inst.SRLGs, StormSRLGs: 2, StormAt: stormAt, CascadeProb: 0.5,
+		RepairAfter: 900, RepairEvery: 300, ReplanDeviation: 0.2,
+	}
+	r, err := scenario.NewDiurnal(inst.Topo, inst.Endpoints, scfg)
+	if err != nil {
+		return GenPoint{}, err
+	}
+	whole := func() bool {
+		for _, l := range inst.Topo.Links() {
+			if r.Sim.LinkState(l.ID) == sim.LinkFailed {
+				return false
+			}
+		}
+		if r.Mgr != nil && r.Mgr.State() == lifecycle.StateDegraded {
+			return false
+		}
+		return r.Starving() == 0
+	}
+	now, recovered := 0.0, 0.0
+	for now < scfg.Duration {
+		step := 60.0
+		if now < stormAt {
+			step = stormAt - now + 60 // jump to just past the cut
+		}
+		r.Advance(step)
+		now += step
+		if whole() {
+			recovered = now
+			break
+		}
+	}
+	res := r.Finish()
+	pt.Flows = res.Flows
+	pt.FailedLinks = res.Failed
+	pt.Cascaded = res.Cascaded
+	pt.DegradedSec = res.DegradedSec
+	if recovered > 0 {
+		pt.RecoverySec = recovered - stormAt
+	} else {
+		pt.Violations++ // never recovered inside the horizon
+	}
+	if !res.Healthy() {
+		pt.Violations++
+	}
+	return pt, nil
 }
 
 func runGenPoint(cfg topogen.Config, flows int) (GenPoint, error) {

@@ -29,41 +29,64 @@
 // # Swap state machine
 //
 //	Idle ──trigger──▶ Replanning ──stage──▶ Swapping ──all retired──▶ Idle
-//	                      │                    (gates: validity,
-//	                      └──error/reject──▶ Idle  fingerprint, power)
+//	  ▲                   │                    (gates: validity,
+//	  │                   ├──error──▶ retry (backoff) fingerprint, power)
+//	  │                   │              │
+//	  │                   │   ≥ DegradedAfter consecutive failures
+//	  │                   │              ▼
+//	  └──────replan succeeds────── Degraded (all-on pinned)
 //
 // Replanning runs the planner (in a goroutine under Background, with
 // cancellation; otherwise inline with a modeled ReplanLatency before
-// staging). Staging re-checks drift against the trigger snapshot — a
+// staging). A panicking ReplanFunc is recovered and counted as a
+// failed cycle; a replan that outlives ReplanDeadline is abandoned as
+// a timeout. Staging re-checks drift against the trigger snapshot — a
 // result the demand has already moved past is abandoned (Superseded)
 // and the replan restarts from a fresh snapshot. A staged plan is
 // serialized and re-read as a PR 2 plan artifact, then gated: invalid
-// tables or a round-trip mismatch reject it, an unchanged fingerprint
-// makes it a no-op (the paper's common case), and a plan strictly
-// worse in power under the live matrix is rejected. Only then does the
-// swap begin: the new always-on set is pinned (waking its sleeping
-// links), and every managed flow whose installed levels differ under
-// the new plan is retargeted through te.Controller.Retarget — traffic
-// keeps flowing on the old tables until each new always-on path
-// forwards, then demand hands over atomically and the old flow drains
-// and retires.
+// tables, a corrupted artifact or a round-trip mismatch reject it
+// (the last-known-good artifact slot is untouched), an unchanged
+// fingerprint makes it a no-op (the paper's common case), and a plan
+// strictly worse in power under the live matrix is rejected. Only then
+// does the swap begin: the new always-on set is pinned (waking its
+// sleeping links), and every managed flow whose installed levels
+// differ under the new plan is retargeted through
+// te.Controller.Retarget — traffic keeps flowing on the old tables
+// until each new always-on path forwards, then demand hands over
+// atomically and the old flow drains and retires.
+//
+// # Failure handling and degraded mode
+//
+// A failed cycle — replan error, timeout, panic, or a staging rejected
+// as invalid — re-arms the trigger and books a retry after a
+// decorrelated-jitter backoff (deterministic from Opts.Seed), bounded
+// below by RetryBase and above by RetryMax. After DegradedAfter
+// consecutive failed cycles the manager enters the explicit Degraded
+// state: it pins the all-on element set — the paper's always-correct
+// fallback, every link powered and forwarding — and keeps retrying at
+// the backoff cap. The first successful cycle (a swap, an unchanged
+// fingerprint, or even a power-gate rejection, all of which prove the
+// control plane computes valid plans again) exits Degraded and
+// restores the installed plan's always-on pinning. Every transition is
+// counted in Metrics and emitted on the JSONL trace.
 //
 // # Rollback rules
 //
 // A pair absent from (or unroutable in) the staged plan keeps its old
 // tables — its flows are not retargeted and keep forwarding (counted
-// in KeptPairs). A replan error (infeasible, canceled) returns the
-// manager to Idle with the old plan and baseline intact, so the next
-// deviation check can try again after MinInterval. Mid-swap link
-// failures are handled by the controller's ordinary failure machinery
-// on whichever tables the flow holds at that instant.
+// in KeptPairs). A replan error (infeasible, canceled) keeps the old
+// plan and baseline intact. Mid-swap link failures are handled by the
+// controller's ordinary failure machinery on whichever tables the flow
+// holds at that instant.
 package lifecycle
 
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 
 	"response"
 	"response/internal/analysis"
@@ -82,7 +105,7 @@ type State uint8
 // Lifecycle states.
 const (
 	// StateIdle: monitoring only; the installed plan is considered
-	// current.
+	// current (the steady state).
 	StateIdle State = iota
 	// StateReplanning: a replan is in flight (inline latency window or
 	// background goroutine); its result has not been staged yet.
@@ -90,6 +113,10 @@ const (
 	// StateSwapping: a staged plan passed the gates and its table
 	// hot-swap is in progress; old flows are draining.
 	StateSwapping
+	// StateDegraded: DegradedAfter consecutive cycles failed; the
+	// all-on element set is pinned (the always-correct fallback) and
+	// replans keep retrying until one succeeds.
+	StateDegraded
 )
 
 // String names the state.
@@ -101,6 +128,8 @@ func (s State) String() string {
 		return "replanning"
 	case StateSwapping:
 		return "swapping"
+	case StateDegraded:
+		return "degraded"
 	}
 	return fmt.Sprintf("state(%d)", uint8(s))
 }
@@ -108,8 +137,31 @@ func (s State) String() string {
 // ReplanFunc computes a fresh plan for the live demand matrix. It runs
 // off the simulator's hot path (in its own goroutine under
 // Opts.Background) and must honor ctx cancellation — the public
-// response.Planner does.
+// response.Planner does. A panic is recovered by the manager and
+// counted as a failed cycle.
 type ReplanFunc func(ctx context.Context, live *traffic.Matrix) (*response.Plan, error)
+
+// replanBudgetKey carries the manager's replan compute budget through
+// the context, so a ReplanFunc (or a fault injector wrapping one) can
+// model deadline pressure on the simulated clock, where real context
+// deadlines — wall-clock — cannot reach.
+type replanBudgetKey struct{}
+
+func withReplanBudget(ctx context.Context, sec float64) context.Context {
+	return context.WithValue(ctx, replanBudgetKey{}, sec)
+}
+
+// ReplanBudget returns the simulated-seconds compute budget the
+// manager attached to a replan context (Opts.ReplanDeadline), if any.
+func ReplanBudget(ctx context.Context) (float64, bool) {
+	v, ok := ctx.Value(replanBudgetKey{}).(float64)
+	return v, ok
+}
+
+// panicError wraps a recovered ReplanFunc panic.
+type panicError struct{ v any }
+
+func (e panicError) Error() string { return fmt.Sprintf("lifecycle: replan panicked: %v", e.v) }
 
 // Opts parameterizes a Manager.
 type Opts struct {
@@ -129,15 +181,39 @@ type Opts struct {
 	// hovering just under the trigger level cannot fire back-to-back
 	// replans.
 	Hysteresis float64
-	// MinInterval is the minimum simulated time between replans
-	// (default 1800 s — bounding the recomputation rate the paper
-	// measures at ~4/hour).
+	// MinInterval is the minimum simulated time between deviation-
+	// triggered replans (default 1800 s — bounding the recomputation
+	// rate the paper measures at ~4/hour). Failure retries are paced
+	// by the backoff instead.
 	MinInterval float64
 	// ReplanLatency models the off-hot-path compute+deploy delay in
 	// simulated seconds before an inline replan's result is staged
 	// (default 60). Ignored under Background, where wall-clock compute
 	// time takes its place.
 	ReplanLatency float64
+	// ReplanDeadline is the simulated-seconds budget for one replan
+	// computation (0 = unbounded). The budget travels on the replan
+	// context (ReplanBudget) so inline replans — which compute
+	// instantly in wall time — can honor it; a background replan still
+	// in flight when the budget elapses on the simulated clock is
+	// canceled. A blown deadline is a failed cycle
+	// (Metrics.ReplanTimeouts).
+	ReplanDeadline float64
+	// RetryBase and RetryMax bound the decorrelated-jitter backoff
+	// between a failed cycle and its retry (defaults 60 s and
+	// MinInterval/2). Retries bypass the deviation trigger and
+	// MinInterval — they re-run an already-admitted cycle.
+	RetryBase float64
+	RetryMax  float64
+	// DegradedAfter is the number of consecutive failed cycles that
+	// trips the manager into StateDegraded, pinning the all-on element
+	// set until a cycle succeeds (default 3; negative disables
+	// degradation).
+	DegradedAfter int
+	// Seed drives the backoff jitter (default 1), keeping retry
+	// schedules — and therefore whole chaos replays — deterministic
+	// per seed.
+	Seed int64
 	// Background runs ReplanFunc in its own goroutine with a
 	// cancellable context; the result is staged at the first check
 	// after it completes. Completion timing then depends on wall-clock
@@ -154,8 +230,15 @@ type Opts struct {
 	MaxUtil float64
 	// NoPowerGate disables the strictly-worse-in-power rejection.
 	NoPowerGate bool
+	// ArtifactFilter, when non-nil, transforms the serialized plan
+	// artifact between the staging write and the gate's re-read — the
+	// fault-injection hook (internal/faultinject corrupts or truncates
+	// through it). A filtered artifact that no longer round-trips is
+	// rejected and the last-known-good slot is left untouched.
+	ArtifactFilter func([]byte) []byte
 	// Events, when non-nil, receives the lifecycle transition trace
-	// (span "lifecycle": check/trigger/replan/stage/swap/...).
+	// (span "lifecycle": check/trigger/replan/stage/swap/retry/
+	// degraded/recovered/...).
 	Events *trace.EventWriter
 	// OnSwap, when non-nil, runs at each migrated flow's demand
 	// handoff; applications that hold *Flow references re-point them
@@ -182,6 +265,21 @@ func (o *Opts) defaults(c *te.Controller) {
 	if o.ReplanLatency == 0 {
 		o.ReplanLatency = 60
 	}
+	if o.RetryBase == 0 {
+		o.RetryBase = 60
+	}
+	if o.RetryMax == 0 {
+		o.RetryMax = o.MinInterval / 2
+	}
+	if o.RetryMax < o.RetryBase {
+		o.RetryMax = o.RetryBase
+	}
+	if o.DegradedAfter == 0 {
+		o.DegradedAfter = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
 	if o.DrainGrace == 0 {
 		o.DrainGrace = c.Period()
 	}
@@ -200,23 +298,39 @@ type Metrics struct {
 	Checks        int
 	LastDeviation float64
 	// Triggers counts replans fired by the deviation policy; Replans
-	// counts completed replan computations (triggered or forced).
+	// counts completed replan computations (triggered, retried or
+	// forced); Retries counts backoff-paced retries of failed cycles.
 	Triggers int
 	Replans  int
+	Retries  int
 	// Superseded counts replan results abandoned because demand had
 	// already drifted past the trigger snapshot when they completed.
 	Superseded int
-	// Failures counts replan errors (infeasible, canceled, ...).
-	Failures int
+	// ReplanFailed counts replan errors (infeasible, injected,
+	// canceled, ...); ReplanTimeouts the subset abandoned for blowing
+	// ReplanDeadline; ReplanPanics the subset that panicked and was
+	// recovered. ConsecutiveFailures is the current failed-cycle
+	// streak (staging rejections included), reset by any success.
+	ReplanFailed        int
+	ReplanTimeouts      int
+	ReplanPanics        int
+	ConsecutiveFailures int
 	// RejectedInvalid counts staged plans failing structural
-	// validation or the artifact round trip; RejectedPower counts
-	// plans strictly worse in power under the live matrix.
+	// validation or the artifact round trip (bit-flipped or truncated
+	// artifacts land here); RejectedPower counts plans strictly worse
+	// in power under the live matrix.
 	RejectedInvalid int
 	RejectedPower   int
 	// Unchanged counts replans whose tables fingerprint-matched the
 	// installed plan — recomputation without redeployment, the paper's
 	// common case.
 	Unchanged int
+	// DegradedEntered/DegradedExited count transitions through the
+	// all-on fallback state; DegradedSec is the total simulated time
+	// spent in it.
+	DegradedEntered int
+	DegradedExited  int
+	DegradedSec     float64
 	// Swaps counts hot-swaps begun; SwapsDone counts swaps fully
 	// drained; MigratedFlows counts flows retargeted across all swaps.
 	Swaps         int
@@ -251,7 +365,17 @@ type Manager struct {
 	lastMigrated  int // flows migrated by the in-progress/last swap
 	artifact      []byte
 
+	// failure machinery
+	rng           *rand.Rand
+	backoff       float64 // previous retry delay (decorrelated jitter state)
+	consecFail    int
+	retryPending  bool
+	timedOut      bool    // the in-flight replan was canceled by the deadline
+	degradedSince float64 // entry time of the current Degraded episode
+
 	cancel   context.CancelFunc
+	inFlight bool // a background replan goroutine is running
+	gen      int  // replan generation, guards stale deadline events
 	resultCh chan replanOutcome
 
 	hist analysis.Replay
@@ -282,6 +406,7 @@ func New(s *sim.Simulator, c *te.Controller, current *response.Plan, replan Repl
 		current: current,
 		armed:   true,
 		state:   StateIdle,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
 		live:    traffic.NewMatrix(),
 		series:  traffic.Series{Matrices: make([]*traffic.Matrix, 0, 2)},
 	}
@@ -307,7 +432,9 @@ func (m *Manager) Start() {
 	m.s.After(m.opts.CheckEvery, tick)
 }
 
-// Stop halts monitoring and cancels any in-flight background replan.
+// Stop halts monitoring and cancels any in-flight background replan. A
+// background result that completes after Stop is discarded without
+// touching the simulator.
 func (m *Manager) Stop() {
 	m.stopped = true
 	if m.cancel != nil {
@@ -320,15 +447,23 @@ func (m *Manager) Stop() {
 func (m *Manager) State() State { return m.state }
 
 // Metrics returns a snapshot of the cumulative counters.
-func (m *Manager) Metrics() Metrics { return m.met }
+func (m *Manager) Metrics() Metrics {
+	met := m.met
+	if m.state == StateDegraded {
+		met.DegradedSec += m.s.Now() - m.degradedSince
+	}
+	return met
+}
 
 // CurrentPlan returns the installed plan (the staged one as soon as a
 // swap begins).
 func (m *Manager) CurrentPlan() *response.Plan { return m.current }
 
 // StagedArtifact returns the serialized plan artifact of the most
-// recently staged plan (nil before the first successful staging). The
-// bytes are the exact PR 2 versioned artifact a deployment would ship.
+// recently staged plan — the last-known-good slot (nil before the
+// first successful staging). The bytes are the exact PR 2 versioned
+// artifact a deployment would ship; a corrupted or rejected staging
+// never overwrites them.
 func (m *Manager) StagedArtifact() []byte { return m.artifact }
 
 // History returns the per-check record of the active plan's tables
@@ -382,9 +517,11 @@ func (m *Manager) check() {
 	switch m.state {
 	case StateSwapping:
 		return // drain in progress; nothing to decide
-	case StateReplanning:
-		if !m.opts.Background {
-			return // inline result is already scheduled to stage
+	case StateReplanning, StateDegraded:
+		// Poll for a completed background replan; degraded retries and
+		// inline stagings schedule themselves.
+		if !m.opts.Background || !m.inFlight {
+			return
 		}
 		select {
 		case r := <-m.resultCh:
@@ -405,56 +542,200 @@ func (m *Manager) check() {
 	}
 }
 
-// fire begins a replan from the current live matrix.
+// fire begins a deviation-triggered replan from the current live
+// matrix.
 func (m *Manager) fire() {
 	m.met.Triggers++
+	m.opts.Events.Emit(m.s.Now(), "lifecycle", "trigger", -1, -1, -1, m.met.LastDeviation)
+	m.launch()
+}
+
+// launch starts one replan cycle (trigger or retry) from the current
+// live matrix.
+func (m *Manager) launch() {
 	m.armed = false
 	m.lastReplanAt = m.s.Now()
 	m.trigger = m.live.Clone()
-	m.state = StateReplanning
-	m.opts.Events.Emit(m.s.Now(), "lifecycle", "trigger", -1, -1, -1, m.met.LastDeviation)
+	if m.state != StateDegraded {
+		m.state = StateReplanning
+	}
+	m.gen++
 	if m.opts.Background {
 		ctx, cancel := context.WithCancel(context.Background())
+		if m.opts.ReplanDeadline > 0 {
+			ctx = withReplanBudget(ctx, m.opts.ReplanDeadline)
+			gen := m.gen
+			m.s.After(m.opts.ReplanDeadline, func() {
+				if m.inFlight && m.gen == gen && m.cancel != nil {
+					m.timedOut = true
+					m.cancel()
+					m.cancel = nil
+				}
+			})
+		}
 		m.cancel = cancel
+		m.inFlight = true
 		snapshot := m.trigger
 		go func() {
-			p, err := m.replan(ctx, snapshot)
+			p, err := m.runReplan(ctx, snapshot)
 			m.resultCh <- replanOutcome{plan: p, err: err}
 		}()
 		return
 	}
 	// Inline: compute now (the snapshot is the demand at trigger
 	// time), stage after the modeled background latency.
-	p, err := m.replan(context.Background(), m.trigger)
+	ctx := context.Background()
+	if m.opts.ReplanDeadline > 0 {
+		ctx = withReplanBudget(ctx, m.opts.ReplanDeadline)
+	}
+	p, err := m.runReplan(ctx, m.trigger)
 	m.s.After(m.opts.ReplanLatency, func() { m.stage(p, err) })
+}
+
+// runReplan invokes the ReplanFunc with panic recovery: a panicking
+// planner is a failed cycle, not a crashed control loop. The recover
+// must live here — for background replans this runs inside the replan
+// goroutine, where the manager's event-loop code cannot catch it.
+func (m *Manager) runReplan(ctx context.Context, live *traffic.Matrix) (p *response.Plan, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			p, err = nil, panicError{v: v}
+		}
+	}()
+	return m.replan(ctx, live)
 }
 
 // stage receives a completed replan and runs the gate sequence.
 func (m *Manager) stage(p *response.Plan, err error) {
+	if m.stopped {
+		return // late background result after Stop: discard
+	}
 	m.met.Replans++
-	m.state = StateIdle
+	m.inFlight = false
+	if m.state == StateReplanning {
+		m.state = StateIdle
+	}
 	if err != nil {
-		m.met.Failures++
-		// Old plan and baseline stay; re-arm so the still-deviating
-		// demand can retry once MinInterval has passed.
-		m.armed = true
-		m.opts.Events.Emit(m.s.Now(), "lifecycle", "replan-error", -1, -1, -1, 0)
+		m.met.ReplanFailed++
+		op := "replan-error"
+		var pe panicError
+		switch {
+		case errors.As(err, &pe):
+			m.met.ReplanPanics++
+			op = "replan-panic"
+		case m.timedOut || errors.Is(err, context.DeadlineExceeded):
+			m.met.ReplanTimeouts++
+			op = "replan-timeout"
+		}
+		m.timedOut = false
+		// Old plan and baseline stay; the failed cycle books a retry
+		// (and may trip degradation).
+		m.failedCycle(op)
 		return
 	}
+	m.timedOut = false
 	// Superseded? If demand has drifted past the trigger snapshot as
 	// far as the drift that fired it, the result is stale: abandon it
 	// and re-arm — the baseline is untouched, so the still-deviating
 	// demand restarts the replan from a fresh snapshot at the first
 	// check MinInterval allows (the rate bound holds even under a
-	// sustained ramp that supersedes every result).
+	// sustained ramp that supersedes every result). In Degraded the
+	// retry machinery keeps the recovery attempts coming instead.
 	m.buildLive()
 	if m.deviation(m.trigger, m.live) >= m.opts.Spread {
 		m.met.Superseded++
 		m.armed = true
 		m.opts.Events.Emit(m.s.Now(), "lifecycle", "superseded", -1, -1, -1, 0)
+		if m.state == StateDegraded {
+			m.scheduleRetry()
+		}
 		return
 	}
 	m.gateAndSwap(p)
+}
+
+// failedCycle accounts one failed replan/staging cycle: re-arm, emit,
+// degrade after DegradedAfter consecutive failures, book a retry.
+func (m *Manager) failedCycle(op string) {
+	m.consecFail++
+	m.met.ConsecutiveFailures = m.consecFail
+	m.armed = true
+	m.opts.Events.Emit(m.s.Now(), "lifecycle", op, -1, -1, -1, float64(m.consecFail))
+	if m.state != StateDegraded && m.opts.DegradedAfter > 0 && m.consecFail >= m.opts.DegradedAfter {
+		m.enterDegraded()
+	}
+	m.scheduleRetry()
+}
+
+// enterDegraded pins the all-on element set — every link powered and
+// forwarding, the paper's always-correct fallback — until a cycle
+// succeeds.
+func (m *Manager) enterDegraded() {
+	m.state = StateDegraded
+	m.met.DegradedEntered++
+	m.degradedSince = m.s.Now()
+	m.s.SetPinnedOn(topo.AllOn(m.s.T))
+	m.opts.Events.Emit(m.s.Now(), "lifecycle", "degraded", -1, -1, -1, float64(m.consecFail))
+}
+
+// cycleSucceeded resets the failure machinery after any successful
+// cycle and, if the manager was degraded, exits the fallback.
+// restorePin re-pins the installed plan's always-on set; the swap path
+// passes false because beginSwap pins the staged plan's set itself.
+func (m *Manager) cycleSucceeded(restorePin bool) {
+	m.consecFail = 0
+	m.met.ConsecutiveFailures = 0
+	m.backoff = 0
+	if m.state != StateDegraded {
+		return
+	}
+	m.met.DegradedExited++
+	m.met.DegradedSec += m.s.Now() - m.degradedSince
+	m.state = StateIdle
+	if restorePin {
+		m.s.SetPinnedOn(m.current.AlwaysOnSet())
+	}
+	m.opts.Events.Emit(m.s.Now(), "lifecycle", "recovered", -1, -1, -1, m.s.Now()-m.degradedSince)
+}
+
+// scheduleRetry books the next replan retry after a decorrelated-
+// jitter backoff. At fire time the retry is abandoned if the manager
+// is busy, stopped, or — outside Degraded — the demand has calmed
+// below the trigger level (ordinary monitoring then resumes).
+func (m *Manager) scheduleRetry() {
+	if m.stopped || m.retryPending {
+		return
+	}
+	m.retryPending = true
+	m.s.After(m.nextBackoff(), func() {
+		m.retryPending = false
+		if m.stopped || (m.state != StateIdle && m.state != StateDegraded) {
+			return
+		}
+		m.buildLive()
+		if m.state == StateIdle && m.deviation(m.planned, m.live) < m.opts.Spread {
+			m.armed = true
+			return
+		}
+		m.met.Retries++
+		m.opts.Events.Emit(m.s.Now(), "lifecycle", "retry", -1, -1, -1, float64(m.consecFail))
+		m.launch()
+	})
+}
+
+// nextBackoff advances the decorrelated-jitter schedule: the first
+// retry waits RetryBase, each later one a uniform draw from
+// [RetryBase, 3×previous], capped at RetryMax.
+func (m *Manager) nextBackoff() float64 {
+	if m.backoff <= 0 {
+		m.backoff = m.opts.RetryBase
+	} else {
+		m.backoff = m.opts.RetryBase + m.rng.Float64()*(3*m.backoff-m.opts.RetryBase)
+		if m.backoff > m.opts.RetryMax {
+			m.backoff = m.opts.RetryMax
+		}
+	}
+	return m.backoff
 }
 
 // StageAndSwap force-stages an externally computed plan through the
@@ -479,7 +760,7 @@ func (m *Manager) gateAndSwap(p *response.Plan) {
 	now := m.s.Now()
 	if p.Topology() != m.s.T || p.Tables().Validate() != nil {
 		m.met.RejectedInvalid++
-		m.opts.Events.Emit(now, "lifecycle", "reject-invalid", -1, -1, -1, 0)
+		m.failedCycle("reject-invalid")
 		return
 	}
 	if p.Fingerprint() == m.current.Fingerprint() {
@@ -488,34 +769,46 @@ func (m *Manager) gateAndSwap(p *response.Plan) {
 		m.met.Unchanged++
 		m.adoptBaseline()
 		m.opts.Events.Emit(now, "lifecycle", "unchanged", -1, -1, -1, 0)
+		m.cycleSucceeded(true)
 		return
 	}
 	// Stage as a versioned plan artifact and verify the round trip:
-	// what would ship is what was gated.
+	// what would ship is what was gated. The fault injector's filter
+	// sits between the write and the re-read; a corrupted artifact
+	// fails the round trip and the last-known-good slot stays.
 	var buf bytes.Buffer
 	if _, err := p.WriteTo(&buf); err != nil {
 		m.met.RejectedInvalid++
-		m.opts.Events.Emit(now, "lifecycle", "reject-invalid", -1, -1, -1, 0)
+		m.failedCycle("reject-invalid")
 		return
 	}
-	loaded, err := response.ReadPlanFrom(bytes.NewReader(buf.Bytes()), p.Topology())
+	raw := buf.Bytes()
+	if f := m.opts.ArtifactFilter; f != nil {
+		raw = f(raw)
+	}
+	loaded, err := response.ReadPlanFrom(bytes.NewReader(raw), p.Topology())
 	if err != nil || loaded.Fingerprint() != p.Fingerprint() {
 		m.met.RejectedInvalid++
-		m.opts.Events.Emit(now, "lifecycle", "reject-invalid", -1, -1, -1, 0)
+		m.failedCycle("reject-invalid")
 		return
 	}
-	m.artifact = buf.Bytes()
+	m.artifact = raw
 	if !m.opts.NoPowerGate {
 		cur := m.current.Evaluate(m.live, m.opts.Model, m.opts.MaxUtil)
 		cand := p.Evaluate(m.live, m.opts.Model, m.opts.MaxUtil)
 		if cand.Watts > cur.Watts+1e-6 {
+			// A worse plan is rejected, but the control plane proved
+			// it computes valid plans: the cycle counts as a success
+			// (a degraded manager recovers to the installed plan).
 			m.met.RejectedPower++
 			m.adoptBaseline()
 			m.opts.Events.Emit(now, "lifecycle", "reject-power", -1, -1, -1, cand.Watts-cur.Watts)
+			m.cycleSucceeded(true)
 			return
 		}
 	}
 	m.opts.Events.Emit(now, "lifecycle", "stage", -1, -1, -1, float64(len(m.artifact)))
+	m.cycleSucceeded(false) // beginSwap pins the staged plan's set
 	m.beginSwap(p)
 }
 

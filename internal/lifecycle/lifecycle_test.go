@@ -193,8 +193,8 @@ func TestFailureRearmsAndRetries(t *testing.T) {
 	if calls < 2 {
 		t.Fatalf("failing replan called %d times, want retries after MinInterval", calls)
 	}
-	if met.Failures != calls {
-		t.Errorf("failures = %d, want %d", met.Failures, calls)
+	if met.ReplanFailed != calls {
+		t.Errorf("failures = %d, want %d", met.ReplanFailed, calls)
 	}
 	if m.CurrentPlan() != r.plan {
 		t.Error("failed replans must keep the installed plan")

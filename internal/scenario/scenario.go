@@ -21,12 +21,14 @@ import (
 
 	"response"
 	"response/internal/core"
+	"response/internal/faultinject"
 	"response/internal/lifecycle"
 	"response/internal/mcf"
 	"response/internal/power"
 	"response/internal/sim"
 	"response/internal/te"
 	"response/internal/topo"
+	"response/internal/topogen"
 	"response/internal/trace"
 	"response/internal/traffic"
 )
@@ -67,6 +69,32 @@ type Config struct {
 	RepairAfter float64
 	RepairEvery float64
 
+	// Correlated failures (the srlgstorm/chaos presets): instead of —
+	// or in addition to — StormLinks independent cuts, StormSRLGs
+	// randomly chosen shared-risk groups fail whole at StormAt (one
+	// fiber cut takes every link in its conduit/pod/PoP). SRLGs is the
+	// group model, typically a topogen Instance's derived SRLGs; the
+	// GÉANT presets derive geometric conduits when it is empty.
+	SRLGs      []topogen.SRLG
+	StormSRLGs int
+	// Cascading failure chains: for CascadeDepth rounds spaced
+	// CascadeDelay seconds after the storm (defaults 3 and 60), every
+	// surviving link at or above CascadeUtil utilization (default 0.9)
+	// fails with probability CascadeProb — overload propagates along
+	// the chain statistics instead of striking independently. The
+	// cascade draws its own rng stream from Seed, so enabling it never
+	// perturbs the pinned storm selection.
+	CascadeProb  float64
+	CascadeUtil  float64
+	CascadeDepth int
+	CascadeDelay float64
+
+	// Faults injects control-plane failures (the chaos preset): the
+	// replan path and the artifact staging path run through a
+	// faultinject.Injector with these rates. Requires the lifecycle
+	// manager (ReplanDeviation > 0) to have a control plane to break.
+	Faults faultinject.Config
+
 	// Lifecycle replanning (the replan scenario): when ReplanDeviation
 	// is > 0 a lifecycle.Manager monitors per-pair drift against the
 	// plan-time matrix and hot-swaps freshly replanned tables into the
@@ -77,6 +105,15 @@ type Config struct {
 	ReplanCheck     float64 // monitor cadence (default StepSec)
 	ReplanMinGap    float64 // min seconds between replans (default 2×StepSec)
 	ReplanLatency   float64 // modeled background compute+deploy (default 60)
+	ReplanDeadline  float64 // replan compute budget; blown = failed cycle (0 = unbounded)
+	DegradedAfter   int     // consecutive failed cycles before the all-on fallback (lifecycle default 3)
+	// ObliviousReplan recomputes plans for the plan-time (ε) demand
+	// instead of the live matrix, so every successful cycle is a
+	// fingerprint-unchanged no-op. The chaos soak uses it to compare a
+	// fault-injected run's converged state against a fault-free run at
+	// the same seed: with no swaps ever staged, both runs' data planes
+	// must end bit-identical.
+	ObliviousReplan bool
 
 	// Events, when non-nil, receives the opt-in JSONL event trace of
 	// controller decisions and lifecycle transitions.
@@ -110,6 +147,15 @@ func (c *Config) defaults() {
 	if c.Period == 0 {
 		c.Period = 60
 	}
+	if c.CascadeUtil == 0 {
+		c.CascadeUtil = 0.9
+	}
+	if c.CascadeDepth == 0 {
+		c.CascadeDepth = 3
+	}
+	if c.CascadeDelay == 0 {
+		c.CascadeDelay = 60
+	}
 }
 
 // Result summarizes a scenario run.
@@ -132,6 +178,19 @@ type Result struct {
 	Replans       int
 	Swaps         int
 	MigratedFlows int
+	// Robustness counters (the srlgstorm/chaos presets): failed replan
+	// cycles, backoff retries, Degraded fallback transitions and dwell
+	// time, injected control-plane faults, and links lost to cascade
+	// rounds (Failed includes them). FinalState is the lifecycle
+	// manager's state when the run ended ("" without a manager).
+	ReplanFailed    int
+	Retries         int
+	DegradedEntered int
+	DegradedExited  int
+	DegradedSec     float64
+	InjectedFaults  int
+	Cascaded        int
+	FinalState      string
 	// DeliveredBytes / OfferedBytes measure how much of the offered
 	// load the runtime carried.
 	DeliveredBytes float64
@@ -151,6 +210,13 @@ func (r Result) DeliveredFrac() float64 {
 	return r.DeliveredBytes / r.OfferedBytes
 }
 
+// Healthy reports whether the control loop ended in a steady state:
+// the lifecycle manager (when one ran) finished outside the Degraded
+// fallback. CLI runs use it as their exit condition.
+func (r Result) Healthy() bool {
+	return r.FinalState != lifecycle.StateDegraded.String()
+}
+
 // Print writes the result as a small table.
 func (r Result) Print(w io.Writer) {
 	fmt.Fprintf(w, "Scenario %s — %d flows over %.0f s simulated\n", r.Name, r.Flows, r.SimulatedSec)
@@ -158,11 +224,18 @@ func (r Result) Print(w io.Writer) {
 	fmt.Fprintf(w, "  delivered %.1f%% of offered load, max arc util %.2f\n",
 		100*r.DeliveredFrac(), r.MaxUtil)
 	if r.Failed > 0 || r.Repaired > 0 {
-		fmt.Fprintf(w, "  links failed %d, repaired %d\n", r.Failed, r.Repaired)
+		fmt.Fprintf(w, "  links failed %d (%d by cascade), repaired %d\n",
+			r.Failed, r.Cascaded, r.Repaired)
 	}
 	if r.Replans > 0 || r.Swaps > 0 {
 		fmt.Fprintf(w, "  replans %d, hot swaps %d, flows migrated %d\n",
 			r.Replans, r.Swaps, r.MigratedFlows)
+	}
+	if r.InjectedFaults > 0 || r.ReplanFailed > 0 || r.DegradedEntered > 0 {
+		fmt.Fprintf(w, "  injected faults %d, failed cycles %d, retries %d\n",
+			r.InjectedFaults, r.ReplanFailed, r.Retries)
+		fmt.Fprintf(w, "  degraded entered %d, exited %d (%.0f s pinned all-on), final state %s\n",
+			r.DegradedEntered, r.DegradedExited, r.DegradedSec, r.FinalState)
 	}
 	if r.AvgPowerPct > 0 {
 		fmt.Fprintf(w, "  mean power %.1f%% of all-on\n", r.AvgPowerPct)
@@ -172,12 +245,37 @@ func (r Result) Print(w io.Writer) {
 
 // Names lists the runnable scenario presets.
 func Names() []string {
-	return []string{"diurnal", "flash", "storm", "repair", "click", "replan"}
+	return []string{"diurnal", "flash", "storm", "repair", "click", "replan", "srlgstorm", "chaos"}
+}
+
+// geantConduitKm is the proximity radius the GÉANT presets derive
+// their SRLG model with: at continental scale, links whose midpoints
+// run within 300 km share a corridor.
+const geantConduitKm = 300
+
+// stormDefaults fills the correlated-failure preset fields.
+func stormDefaults(cfg *Config) {
+	if cfg.StormSRLGs == 0 {
+		cfg.StormSRLGs = 2
+	}
+	if cfg.StormAt == 0 {
+		cfg.StormAt = cfg.Duration / 3
+	}
+	if cfg.CascadeProb == 0 {
+		cfg.CascadeProb = 0.5
+	}
+	if cfg.RepairEvery == 0 {
+		cfg.RepairEvery = cfg.StepSec / 2
+	}
+	if cfg.RepairAfter == 0 {
+		cfg.RepairAfter = cfg.StepSec
+	}
 }
 
 // Run executes a named scenario preset.
 func Run(name string, cfg Config) (Result, error) {
 	cfg.defaults()
+	needSRLGs := false
 	switch name {
 	case "diurnal":
 	case "flash":
@@ -221,10 +319,36 @@ func Run(name string, cfg Config) (Result, error) {
 		if cfg.ReplanDeviation == 0 {
 			cfg.ReplanDeviation = 0.2
 		}
+	case "srlgstorm":
+		// Correlated cut: whole shared-risk groups fail together, then
+		// overloaded survivors cascade.
+		needSRLGs = true
+		stormDefaults(&cfg)
+	case "chaos":
+		// srlgstorm plus a fault-injected control plane: the lifecycle
+		// manager replans through the injector while the network burns.
+		needSRLGs = true
+		stormDefaults(&cfg)
+		if cfg.ReplanDeviation == 0 {
+			cfg.ReplanDeviation = 0.2
+		}
+		if cfg.ReplanDeadline == 0 {
+			cfg.ReplanDeadline = cfg.StepSec
+		}
+		if !cfg.Faults.Any() {
+			cfg.Faults = faultinject.Config{
+				FailFirst: 3, ErrorRate: 0.25, PanicRate: 0.05,
+				SlowRate: 0.1, CorruptRate: 0.1, TruncateRate: 0.05,
+			}
+		}
 	default:
 		return Result{}, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, Names())
 	}
-	r, err := NewGeantDiurnal(cfg)
+	g := topo.NewGeant()
+	if needSRLGs && len(cfg.SRLGs) == 0 {
+		cfg.SRLGs = topogen.ProximitySRLGs(g, geantConduitKm)
+	}
+	r, err := NewDiurnal(g, nil, cfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -259,6 +383,18 @@ type Replay struct {
 
 	stormOrder []topo.LinkID
 	stormDone  bool
+
+	// Correlated-failure state: the SRLG groups the storm cuts, the
+	// cascade's private rng stream, and the set of currently cut links
+	// (cascade rounds and rolling repairs share it).
+	stormGroups []topogen.SRLG
+	cascadeRng  *rand.Rand
+	cut         map[topo.LinkID]bool
+	cascaded    int
+
+	// inj is the control-plane fault injector (nil unless Config.Faults
+	// set any rate).
+	inj *faultinject.Injector
 
 	offered     float64
 	offeredRate float64 // current aggregate demand, for offered integration
@@ -369,6 +505,19 @@ func NewDiurnal(g *topo.Topology, endpoints []topo.NodeID, cfg Config) (*Replay,
 			r.stormOrder = append(r.stormOrder, topo.LinkID(li))
 		}
 	}
+	// SRLG storm selection: whole groups, drawn after (and therefore
+	// never perturbing) the independent-cut order above. The cascade
+	// rolls its own rng stream so enabling chains cannot shift either
+	// selection.
+	if cfg.StormSRLGs > 0 && len(cfg.SRLGs) > 0 {
+		perm := rng.Perm(len(cfg.SRLGs))
+		for _, gi := range perm[:min(cfg.StormSRLGs, len(cfg.SRLGs))] {
+			r.stormGroups = append(r.stormGroups, cfg.SRLGs[gi])
+		}
+	}
+	if cfg.CascadeProb > 0 {
+		r.cascadeRng = rand.New(rand.NewSource(cfg.Seed ^ 0x5ca1ab1e))
+	}
 	r.applyDemands(0)
 	ctrl.Start()
 	if cfg.ReplanDeviation > 0 {
@@ -382,6 +531,14 @@ func NewDiurnal(g *topo.Topology, endpoints []topo.NodeID, cfg Config) (*Replay,
 		replan := func(ctx context.Context, live *traffic.Matrix) (*response.Plan, error) {
 			return planner.Plan(ctx, g, response.WithLowMatrix(live))
 		}
+		if cfg.ObliviousReplan {
+			// Demand-oblivious: recompute for the plan-time demand, so
+			// every successful cycle fingerprint-matches the installed
+			// plan (an Unchanged no-op, never a swap).
+			replan = func(ctx context.Context, live *traffic.Matrix) (*response.Plan, error) {
+				return planner.Plan(ctx, g)
+			}
+		}
 		check := cfg.ReplanCheck
 		if check == 0 {
 			check = cfg.StepSec
@@ -390,16 +547,29 @@ func NewDiurnal(g *topo.Topology, endpoints []topo.NodeID, cfg Config) (*Replay,
 		if minGap == 0 {
 			minGap = 2 * cfg.StepSec
 		}
-		r.Mgr = lifecycle.New(s, ctrl, plan, replan, lifecycle.Opts{
-			CheckEvery:    check,
-			Deviation:     cfg.ReplanDeviation,
-			Spread:        cfg.ReplanSpread,
-			MinInterval:   minGap,
-			ReplanLatency: cfg.ReplanLatency,
-			Model:         model,
-			Events:        cfg.Events,
-			OnSwap:        r.flowSwapped,
-		})
+		opts := lifecycle.Opts{
+			CheckEvery:     check,
+			Deviation:      cfg.ReplanDeviation,
+			Spread:         cfg.ReplanSpread,
+			MinInterval:    minGap,
+			ReplanLatency:  cfg.ReplanLatency,
+			ReplanDeadline: cfg.ReplanDeadline,
+			DegradedAfter:  cfg.DegradedAfter,
+			Seed:           cfg.Seed,
+			Model:          model,
+			Events:         cfg.Events,
+			OnSwap:         r.flowSwapped,
+		}
+		if cfg.Faults.Any() {
+			fc := cfg.Faults
+			if fc.Seed == 0 {
+				fc.Seed = cfg.Seed + 1
+			}
+			r.inj = faultinject.New(fc)
+			replan = r.inj.WrapReplan(replan)
+			opts.ArtifactFilter = r.inj.ArtifactFilter()
+		}
+		r.Mgr = lifecycle.New(s, ctrl, plan, replan, opts)
 		r.Mgr.Start()
 	}
 	return r, nil
@@ -475,28 +645,109 @@ func (r *Replay) Advance(seconds float64) {
 			r.applyDemands(at)
 		})
 	}
-	if !r.stormDone && len(r.stormOrder) > 0 && r.cfg.StormAt > 0 &&
-		r.cfg.StormAt >= r.start && r.cfg.StormAt < end {
+	if !r.stormDone && (len(r.stormOrder) > 0 || len(r.stormGroups) > 0) &&
+		r.cfg.StormAt > 0 && r.cfg.StormAt >= r.start && r.cfg.StormAt < end {
 		r.stormDone = true
+		// Flatten the cut list: independent links first (their pinned
+		// order predates SRLGs), then whole shared-risk groups.
+		cutList := append([]topo.LinkID(nil), r.stormOrder...)
+		for _, sg := range r.stormGroups {
+			cutList = append(cutList, sg.Links...)
+		}
 		r.Sim.Schedule(r.cfg.StormAt, func() {
-			for _, l := range r.stormOrder {
-				r.Sim.FailLink(l)
-				r.failed++
+			for _, sg := range r.stormGroups {
+				r.cfg.Events.Emit(r.Sim.Now(), "chaos", "srlg-cut", -1, -1, -1, float64(len(sg.Links)))
 			}
+			for _, l := range cutList {
+				r.failLink(l)
+			}
+			r.scheduleCascades()
 		})
 		if r.cfg.RepairEvery > 0 {
-			for k, l := range r.stormOrder {
+			for k, l := range cutList {
 				at := r.cfg.StormAt + r.cfg.RepairAfter + float64(k)*r.cfg.RepairEvery
 				lk := l
-				r.Sim.Schedule(at, func() {
-					r.Sim.RepairLink(lk)
-					r.repaired++
-				})
+				r.Sim.Schedule(at, func() { r.repairLink(lk) })
 			}
 		}
 	}
 	r.Sim.Run(end)
 	r.start = end
+}
+
+// failLink cuts a link once (storm lists and SRLG groups may overlap),
+// tracking it for repair bookkeeping.
+func (r *Replay) failLink(l topo.LinkID) {
+	if r.cut == nil {
+		r.cut = make(map[topo.LinkID]bool)
+	}
+	if r.cut[l] {
+		return
+	}
+	r.cut[l] = true
+	r.Sim.FailLink(l)
+	r.failed++
+}
+
+// repairLink returns a previously cut link to service.
+func (r *Replay) repairLink(l topo.LinkID) {
+	if !r.cut[l] {
+		return
+	}
+	delete(r.cut, l)
+	r.Sim.RepairLink(l)
+	r.repaired++
+}
+
+// scheduleCascades books the post-storm cascade rounds: CascadeDepth
+// rounds, CascadeDelay apart, each failing currently overloaded
+// survivors with probability CascadeProb from the cascade's own rng
+// stream. Rounds are scheduled from storm time, so the chain timing is
+// part of the deterministic replay.
+func (r *Replay) scheduleCascades() {
+	if r.cascadeRng == nil {
+		return
+	}
+	now := r.Sim.Now()
+	for k := 1; k <= r.cfg.CascadeDepth; k++ {
+		r.Sim.Schedule(now+float64(k)*r.cfg.CascadeDelay, func() { r.cascadeRound() })
+	}
+}
+
+// cascadeRound is one step of the chain: every overloaded survivor
+// rolls the chain probability; casualties fail now and join the
+// rolling-repair schedule.
+func (r *Replay) cascadeRound() {
+	cands := r.Sim.OverloadedLinks(r.cfg.CascadeUtil)
+	idx := 0
+	for _, l := range cands {
+		if r.cut[l] || r.cascadeRng.Float64() >= r.cfg.CascadeProb {
+			continue
+		}
+		r.failLink(l)
+		r.cascaded++
+		r.cfg.Events.Emit(r.Sim.Now(), "chaos", "cascade", -1, -1, int(l), r.cfg.CascadeProb)
+		if r.cfg.RepairEvery > 0 {
+			at := r.Sim.Now() + r.cfg.RepairAfter + float64(idx)*r.cfg.RepairEvery
+			lk := l
+			r.Sim.Schedule(at, func() { r.repairLink(lk) })
+		}
+		idx++
+	}
+}
+
+// Starving returns the number of flows currently offered demand but
+// achieving zero rate — traffic the network is failing entirely. The
+// chaos soak bounds it: outside the storm-to-repair disruption window
+// it must be zero (the always-correct fallback guarantee).
+func (r *Replay) Starving() int {
+	n := 0
+	for _, f := range r.flows {
+		if f.Demand > 0 && f.Rate() == 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // Finish closes the books and returns the Result.
@@ -522,11 +773,21 @@ func (r *Replay) Finish() Result {
 		Failed:         r.failed,
 		Repaired:       r.repaired,
 	}
+	res.Cascaded = r.cascaded
 	if r.Mgr != nil {
 		lm := r.Mgr.Metrics()
 		res.Replans = lm.Replans
 		res.Swaps = lm.SwapsDone
 		res.MigratedFlows = lm.MigratedFlows
+		res.ReplanFailed = lm.ReplanFailed
+		res.Retries = lm.Retries
+		res.DegradedEntered = lm.DegradedEntered
+		res.DegradedExited = lm.DegradedExited
+		res.DegradedSec = lm.DegradedSec
+		res.FinalState = r.Mgr.State().String()
+	}
+	if r.inj != nil {
+		res.InjectedFaults = r.inj.Counts().Faults()
 	}
 	if m := r.Sim.Meter(); m != nil && r.start > 0 {
 		joules := m.Finish(r.start)

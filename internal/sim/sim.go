@@ -643,3 +643,20 @@ func (s *Simulator) MaxArcUtil() float64 {
 	}
 	return mx
 }
+
+// OverloadedLinks returns, in LinkID order, every non-failed link
+// whose worse arc utilization is at least minUtil — the candidate set
+// for load-driven cascading failures (a correlated-failure model
+// fails overloaded survivors of a cut with some chain probability).
+func (s *Simulator) OverloadedLinks(minUtil float64) []topo.LinkID {
+	var out []topo.LinkID
+	for _, l := range s.T.Links() {
+		if s.phase[l.ID] == LinkFailed {
+			continue
+		}
+		if s.ArcUtil(l.AB) >= minUtil || s.ArcUtil(l.BA) >= minUtil {
+			out = append(out, l.ID)
+		}
+	}
+	return out
+}

@@ -300,3 +300,41 @@ func TestLinkPhaseString(t *testing.T) {
 		}
 	}
 }
+
+// TestOverloadedLinks: only hot, non-failed links are candidates for
+// the cascading-failure model.
+func TestOverloadedLinks(t *testing.T) {
+	tp := topo.New("triangle")
+	a := tp.AddNode("A", topo.KindRouter)
+	b := tp.AddNode("B", topo.KindRouter)
+	c := tp.AddNode("C", topo.KindRouter)
+	tp.AddLink(a, b, 10*topo.Mbps, 0.01)
+	tp.AddLink(b, c, 10*topo.Mbps, 0.01)
+	tp.AddLink(a, c, 10*topo.Mbps, 0.01)
+	ab, _ := tp.ArcBetween(a, b)
+	bc, _ := tp.ArcBetween(b, c)
+
+	s := New(tp, Opts{})
+	// Saturate A->B->C; leave A-C idle.
+	if _, err := s.AddFlow(a, c, 50*topo.Mbps, []topo.Path{{Arcs: []topo.ArcID{ab, bc}}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(1)
+
+	hot := s.OverloadedLinks(0.9)
+	if len(hot) != 2 {
+		t.Fatalf("OverloadedLinks(0.9) = %v, want the two saturated path links", hot)
+	}
+	if none := s.OverloadedLinks(1.5); len(none) != 0 {
+		t.Errorf("threshold above max util still returns %v", none)
+	}
+
+	// A failed link is never a cascade candidate even if it was hot.
+	s.FailLink(tp.Arc(ab).Link)
+	s.Run(2)
+	for _, l := range s.OverloadedLinks(0.9) {
+		if l == tp.Arc(ab).Link {
+			t.Errorf("failed link %d reported as overloaded", l)
+		}
+	}
+}

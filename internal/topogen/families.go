@@ -17,13 +17,10 @@ const (
 
 // genFatTree wraps the fat-tree builder at switch granularity: path
 // analysis and planning run over the fabric, with edge switches as the
-// demand endpoints.
-func genFatTree(cfg Config) (*topo.Topology, error) {
-	ft, err := topo.NewFatTree(cfg.Size, topo.FatTreeOpts{})
-	if err != nil {
-		return nil, err
-	}
-	return ft.Topology, nil
+// demand endpoints. The *topo.FatTree is retained so SRLG derivation
+// can group links by pod.
+func genFatTree(cfg Config) (*topo.FatTree, error) {
+	return topo.NewFatTree(cfg.Size, topo.FatTreeOpts{})
 }
 
 // genWaxman builds a Waxman random geometric graph: n nodes uniform in

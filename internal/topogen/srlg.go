@@ -1,0 +1,160 @@
+package topogen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"response/internal/topo"
+)
+
+// SRLG is a shared-risk link group: a set of links that share a
+// physical fate — a fiber conduit, a pod power domain, a PoP — so one
+// underlying fault takes them all down together. Correlated-failure
+// scenarios cut whole groups instead of independent links.
+type SRLG struct {
+	// Name identifies the shared risk ("pod2-fabric", "pop0-access",
+	// "conduit3", ...).
+	Name string
+	// Links are the group members, in ascending LinkID order.
+	Links []topo.LinkID
+}
+
+// defaultProximityRadiusKm is the conduit-sharing radius of the
+// geometric SRLG model: link midpoints within this distance are
+// assumed to run through the same physical corridor. 45 km sits below
+// the regular link spacing of the ring (≈60 km) and torus (≈57 km
+// between a node's row/column midpoints) families — their SRLGs stay
+// singleton cuts — while Waxman's irregular clusters produce genuine
+// multi-link conduits.
+const defaultProximityRadiusKm = 45
+
+// deriveSRLGs builds the family's structural shared-risk model. It
+// consumes no randomness — groups are a pure function of the already-
+// built topology — so adding SRLGs cannot perturb pinned instance
+// fingerprints.
+func deriveSRLGs(cfg Config, t *topo.Topology, ft *topo.FatTree) []SRLG {
+	switch cfg.Family {
+	case FamilyFatTree:
+		return fatTreeSRLGs(t, ft)
+	case FamilyISP:
+		return ispSRLGs(t)
+	default:
+		return ProximitySRLGs(t, defaultProximityRadiusKm)
+	}
+}
+
+// fatTreeSRLGs models pod-level shared fate: each pod's intra-pod
+// fabric (edge↔aggr links, one power/cabling domain per pod) is one
+// group, and each pod's core uplinks (its aggr→core bundle, typically
+// routed through the same cable tray) is another.
+func fatTreeSRLGs(t *topo.Topology, ft *topo.FatTree) []SRLG {
+	fabric := map[int][]topo.LinkID{}
+	uplink := map[int][]topo.LinkID{}
+	for _, l := range t.Links() {
+		pa, pb := ft.PodOf(l.A), ft.PodOf(l.B)
+		switch {
+		case pa >= 0 && pa == pb:
+			fabric[pa] = append(fabric[pa], l.ID)
+		case pa >= 0 && pb < 0:
+			uplink[pa] = append(uplink[pa], l.ID)
+		case pb >= 0 && pa < 0:
+			uplink[pb] = append(uplink[pb], l.ID)
+		}
+	}
+	var out []SRLG
+	for p := 0; p < len(ft.Aggr); p++ {
+		if ls := fabric[p]; len(ls) > 0 {
+			out = append(out, SRLG{Name: fmt.Sprintf("pod%d-fabric", p), Links: ls})
+		}
+		if ls := uplink[p]; len(ls) > 0 {
+			out = append(out, SRLG{Name: fmt.Sprintf("pod%d-uplink", p), Links: ls})
+		}
+	}
+	return out
+}
+
+// ispSRLGs models PoP-level shared fate: all access links terminating
+// at one core PoP (the 2.5G uplinks homed there plus the 622M
+// protection links arriving from the previous PoP's access routers)
+// share that PoP's building and entry conduit; each core↔core trunk is
+// its own long-haul fiber.
+func ispSRLGs(t *topo.Topology) []SRLG {
+	access := map[topo.NodeID][]topo.LinkID{}
+	var trunks []topo.Link
+	for _, l := range t.Links() {
+		ka, kb := t.Node(l.A).Kind, t.Node(l.B).Kind
+		switch {
+		case ka == topo.KindCore && kb == topo.KindCore:
+			trunks = append(trunks, l)
+		case ka == topo.KindCore:
+			access[l.A] = append(access[l.A], l.ID)
+		case kb == topo.KindCore:
+			access[l.B] = append(access[l.B], l.ID)
+		}
+	}
+	var out []SRLG
+	for _, core := range t.NodesOfKind(topo.KindCore) {
+		if ls := access[core]; len(ls) > 0 {
+			out = append(out, SRLG{Name: fmt.Sprintf("pop%d-access", core), Links: ls})
+		}
+	}
+	for _, l := range trunks {
+		out = append(out, SRLG{Name: fmt.Sprintf("trunk%d", l.ID), Links: []topo.LinkID{l.ID}})
+	}
+	return out
+}
+
+// ProximitySRLGs is the geometric shared-risk model for topologies
+// with a planar embedding: links whose midpoints lie within radiusKm
+// of each other (transitively, via union-find) are assumed to share a
+// physical conduit and form one group. Nodes without coordinates
+// cluster at the origin — use only on embedded topologies. The result
+// covers every link (singleton groups included) in deterministic
+// order.
+func ProximitySRLGs(t *topo.Topology, radiusKm float64) []SRLG {
+	links := t.Links()
+	n := len(links)
+	mx := make([]float64, n)
+	my := make([]float64, n)
+	for i, l := range links {
+		a, b := t.Node(l.A), t.Node(l.B)
+		mx[i] = (a.KmEast + b.KmEast) / 2
+		my[i] = (a.KmNorth + b.KmNorth) / 2
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx, dy := mx[i]-mx[j], my[i]-my[j]
+			if math.Sqrt(dx*dx+dy*dy) <= radiusKm {
+				parent[find(j)] = find(i)
+			}
+		}
+	}
+	groups := map[int][]topo.LinkID{}
+	for i, l := range links {
+		r := find(i)
+		groups[r] = append(groups[r], l.ID)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	out := make([]SRLG, 0, len(roots))
+	for i, r := range roots {
+		out = append(out, SRLG{Name: fmt.Sprintf("conduit%d", i), Links: groups[r]})
+	}
+	return out
+}

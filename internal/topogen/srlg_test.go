@@ -1,0 +1,164 @@
+package topogen
+
+import (
+	"testing"
+
+	"response/internal/topo"
+)
+
+// TestSRLGsDerivedForEveryFamily: every generated instance carries a
+// non-empty, well-formed SRLG model covering only real links.
+func TestSRLGsDerivedForEveryFamily(t *testing.T) {
+	for _, fam := range Families() {
+		inst, err := Generate(Config{Family: fam, Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if len(inst.SRLGs) == 0 {
+			t.Fatalf("%s: no SRLGs derived", fam)
+		}
+		names := map[string]bool{}
+		for _, g := range inst.SRLGs {
+			if g.Name == "" || len(g.Links) == 0 {
+				t.Fatalf("%s: malformed group %+v", fam, g)
+			}
+			if names[g.Name] {
+				t.Fatalf("%s: duplicate group name %q", fam, g.Name)
+			}
+			names[g.Name] = true
+			if len(g.Links) >= inst.Topo.NumLinks() {
+				t.Fatalf("%s: group %q covers the whole topology", fam, g.Name)
+			}
+			for _, l := range g.Links {
+				if l < 0 || int(l) >= inst.Topo.NumLinks() {
+					t.Fatalf("%s: group %q references link %d of %d", fam, g.Name, l, inst.Topo.NumLinks())
+				}
+			}
+		}
+	}
+}
+
+// TestSRLGsDeterministic: the SRLG model is a pure function of the
+// config, like everything else in the instance.
+func TestSRLGsDeterministic(t *testing.T) {
+	for _, fam := range Families() {
+		a, err := Generate(Config{Family: fam, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(Config{Family: fam, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.SRLGs) != len(b.SRLGs) {
+			t.Fatalf("%s: SRLG count diverged: %d vs %d", fam, len(a.SRLGs), len(b.SRLGs))
+		}
+		for i := range a.SRLGs {
+			if a.SRLGs[i].Name != b.SRLGs[i].Name {
+				t.Fatalf("%s: group %d name diverged", fam, i)
+			}
+			if len(a.SRLGs[i].Links) != len(b.SRLGs[i].Links) {
+				t.Fatalf("%s: group %q size diverged", fam, a.SRLGs[i].Name)
+			}
+			for j := range a.SRLGs[i].Links {
+				if a.SRLGs[i].Links[j] != b.SRLGs[i].Links[j] {
+					t.Fatalf("%s: group %q member %d diverged", fam, a.SRLGs[i].Name, j)
+				}
+			}
+		}
+	}
+}
+
+// TestFatTreeSRLGStructure: pod grouping must follow the fabric — one
+// fabric and one uplink group per pod, and a pod's fabric group holds
+// exactly its (k/2)² edge↔aggr links.
+func TestFatTreeSRLGStructure(t *testing.T) {
+	const k = 4
+	inst, err := Generate(Config{Family: FamilyFatTree, Size: k, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabric, uplink := 0, 0
+	for _, g := range inst.SRLGs {
+		switch {
+		case len(g.Name) > 4 && g.Name[len(g.Name)-6:] == "fabric":
+			fabric++
+			if want := (k / 2) * (k / 2); len(g.Links) != want {
+				t.Errorf("%s: %d links, want %d", g.Name, len(g.Links), want)
+			}
+		case len(g.Name) > 4 && g.Name[len(g.Name)-6:] == "uplink":
+			uplink++
+			if want := (k / 2) * (k / 2); len(g.Links) != want {
+				t.Errorf("%s: %d links, want %d", g.Name, len(g.Links), want)
+			}
+		default:
+			t.Errorf("unexpected fat-tree group %q", g.Name)
+		}
+	}
+	if fabric != k || uplink != k {
+		t.Errorf("fabric/uplink groups = %d/%d, want %d/%d", fabric, uplink, k, k)
+	}
+}
+
+// TestISPSRLGStructure: every access link lands in exactly one PoP
+// bundle; every core trunk is a singleton group; together they cover
+// all links exactly once.
+func TestISPSRLGStructure(t *testing.T) {
+	inst, err := Generate(Config{Family: FamilyISP, Size: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := map[topo.LinkID]int{}
+	for _, g := range inst.SRLGs {
+		for _, l := range g.Links {
+			covered[l]++
+		}
+	}
+	for _, l := range inst.Topo.Links() {
+		if covered[l.ID] != 1 {
+			t.Fatalf("link %d covered %d times, want exactly once", l.ID, covered[l.ID])
+		}
+	}
+}
+
+// TestProximitySRLGsCoverAndCluster: the geometric model covers every
+// link exactly once, and two parallel links laid in the same corridor
+// share a group while a distant one does not.
+func TestProximitySRLGsCoverAndCluster(t *testing.T) {
+	tp := topo.New("prox-test")
+	a := tp.AddNodeAt("a", topo.KindRouter, 0, 0)
+	b := tp.AddNodeAt("b", topo.KindRouter, 100, 0)
+	c := tp.AddNodeAt("c", topo.KindRouter, 0, 10)
+	d := tp.AddNodeAt("d", topo.KindRouter, 100, 10)
+	e := tp.AddNodeAt("e", topo.KindRouter, 0, 1000)
+	tp.AddLinkKm(a, b, tier25G) // midpoint (50, 0)
+	tp.AddLinkKm(c, d, tier25G) // midpoint (50, 5): same corridor
+	tp.AddLinkKm(a, c, tier25G) // joins the graph
+	tp.AddLinkKm(b, d, tier25G)
+	tp.AddLinkKm(a, e, tier25G) // midpoint (0, 500): far away
+
+	groups := ProximitySRLGs(tp, 20)
+	covered := map[topo.LinkID]int{}
+	byLink := map[topo.LinkID]string{}
+	for _, g := range groups {
+		for _, l := range g.Links {
+			covered[l]++
+			byLink[l] = g.Name
+		}
+	}
+	for _, l := range tp.Links() {
+		if covered[l.ID] != 1 {
+			t.Fatalf("link %d covered %d times", l.ID, covered[l.ID])
+		}
+	}
+	ab, _ := tp.ArcBetween(a, b)
+	cd, _ := tp.ArcBetween(c, d)
+	ae, _ := tp.ArcBetween(a, e)
+	abL, cdL, aeL := tp.Arc(ab).Link, tp.Arc(cd).Link, tp.Arc(ae).Link
+	if byLink[abL] != byLink[cdL] {
+		t.Errorf("parallel corridor links in different groups: %q vs %q", byLink[abL], byLink[cdL])
+	}
+	if byLink[abL] == byLink[aeL] {
+		t.Errorf("distant link clustered into the corridor group %q", byLink[abL])
+	}
+}

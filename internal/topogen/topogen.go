@@ -153,6 +153,12 @@ type Instance struct {
 	// MaxScale is the maximum feasible multiplier of Shape on the full
 	// topology (the scale TM was derived from).
 	MaxScale float64
+	// SRLGs is the family's structural shared-risk model (fat-tree pod
+	// domains, ISP PoP bundles, geometric conduits for the planar
+	// families) — the groups correlated-failure scenarios cut whole.
+	// Derived deterministically from the topology alone; not covered
+	// by Fingerprint, which predates it and stays pinned.
+	SRLGs []SRLG
 }
 
 // Generate builds the instance described by cfg. The build is
@@ -163,10 +169,14 @@ func Generate(cfg Config) (*Instance, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var t *topo.Topology
+	var ft *topo.FatTree
 	var err error
 	switch cfg.Family {
 	case FamilyFatTree:
-		t, err = genFatTree(cfg)
+		ft, err = genFatTree(cfg)
+		if err == nil {
+			t = ft.Topology
+		}
 	case FamilyWaxman:
 		t = genWaxman(cfg, rng)
 	case FamilyRing:
@@ -190,6 +200,7 @@ func Generate(cfg Config) (*Instance, error) {
 	inst := &Instance{Config: cfg, Topo: t}
 	inst.Endpoints = chooseEndpoints(t, cfg, rng)
 	inst.Shape, inst.TM, inst.MaxScale = matchedMatrix(t, inst.Endpoints, cfg.PeakUtil)
+	inst.SRLGs = deriveSRLGs(cfg, t, ft)
 	return inst, nil
 }
 

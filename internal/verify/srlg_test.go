@@ -1,0 +1,57 @@
+package verify_test
+
+import (
+	"testing"
+
+	"response/internal/topo"
+	"response/internal/topogen"
+	"response/internal/verify"
+)
+
+// TestCheckSRLGsCleanOnGenerated: every family's derived SRLG model is
+// well-formed under the invariant checker.
+func TestCheckSRLGsCleanOnGenerated(t *testing.T) {
+	for _, fam := range topogen.Families() {
+		inst, err := topogen.Generate(topogen.Config{Family: fam, Seed: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if rep := verify.CheckSRLGs(inst.Topo, inst.SRLGs); !rep.Ok() {
+			t.Errorf("%s: %v", fam, rep.Err())
+		}
+	}
+}
+
+// TestCheckSRLGsDetectsMalformed: each malformation class produces an
+// "srlg" violation.
+func TestCheckSRLGsDetectsMalformed(t *testing.T) {
+	g := topo.NewGeant()
+	n := g.NumLinks()
+	all := make([]topo.LinkID, n)
+	for i := range all {
+		all[i] = topo.LinkID(i)
+	}
+	cases := []struct {
+		name  string
+		srlgs []topogen.SRLG
+	}{
+		{"unnamed", []topogen.SRLG{{Links: []topo.LinkID{0}}}},
+		{"duplicate-name", []topogen.SRLG{{Name: "x", Links: []topo.LinkID{0}}, {Name: "x", Links: []topo.LinkID{1}}}},
+		{"empty", []topogen.SRLG{{Name: "x"}}},
+		{"covers-all", []topogen.SRLG{{Name: "x", Links: all}}},
+		{"out-of-range", []topogen.SRLG{{Name: "x", Links: []topo.LinkID{topo.LinkID(n)}}}},
+		{"repeated-link", []topogen.SRLG{{Name: "x", Links: []topo.LinkID{2, 2}}}},
+	}
+	for _, tc := range cases {
+		rep := verify.CheckSRLGs(g, tc.srlgs)
+		if rep.Ok() {
+			t.Errorf("%s: checker reported clean", tc.name)
+			continue
+		}
+		for _, v := range rep.Violations {
+			if v.Invariant != "srlg" {
+				t.Errorf("%s: violation under invariant %q, want \"srlg\"", tc.name, v.Invariant)
+			}
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"response/internal/power"
 	"response/internal/spf"
 	"response/internal/topo"
+	"response/internal/topogen"
 	"response/internal/traffic"
 )
 
@@ -271,6 +272,44 @@ func checkPower(t *topo.Topology, tb *core.Tables, opts Opts, r *Report) {
 	if ev.Watts < aon-eps {
 		r.addf("power", "evaluated placement draws %.1f W < always-on %.1f W", ev.Watts, aon)
 	}
+}
+
+// CheckSRLGs vets a shared-risk-group model against its topology: every
+// group must be non-empty with a unique name, every member link must
+// exist, no group may list a link twice, and no single group may cover
+// the whole topology (a storm that cuts one group must leave something
+// standing for the always-correct fallback to run on). Violations use
+// the "srlg" invariant.
+func CheckSRLGs(t *topo.Topology, srlgs []topogen.SRLG) *Report {
+	r := &Report{Name: t.Name}
+	names := make(map[string]bool, len(srlgs))
+	for gi, g := range srlgs {
+		if g.Name == "" {
+			r.addf("srlg", "group %d has no name", gi)
+		} else if names[g.Name] {
+			r.addf("srlg", "duplicate group name %q", g.Name)
+		}
+		names[g.Name] = true
+		if len(g.Links) == 0 {
+			r.addf("srlg", "group %q is empty", g.Name)
+			continue
+		}
+		if len(g.Links) >= t.NumLinks() {
+			r.addf("srlg", "group %q covers all %d links", g.Name, t.NumLinks())
+		}
+		seen := make(map[topo.LinkID]bool, len(g.Links))
+		for _, l := range g.Links {
+			if l < 0 || int(l) >= t.NumLinks() {
+				r.addf("srlg", "group %q: link %d out of range", g.Name, l)
+				continue
+			}
+			if seen[l] {
+				r.addf("srlg", "group %q lists link %d twice", g.Name, l)
+			}
+			seen[l] = true
+		}
+	}
+	return r
 }
 
 // TableScale returns (to ~2 % precision) the largest multiplier s such

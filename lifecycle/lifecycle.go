@@ -17,6 +17,8 @@
 package lifecycle
 
 import (
+	"context"
+
 	"response"
 	ilc "response/internal/lifecycle"
 	"response/simulate"
@@ -44,7 +46,14 @@ const (
 	StateIdle       = ilc.StateIdle
 	StateReplanning = ilc.StateReplanning
 	StateSwapping   = ilc.StateSwapping
+	StateDegraded   = ilc.StateDegraded
 )
+
+// ReplanBudget returns the simulated-seconds compute budget the
+// manager attached to a replan context (Opts.ReplanDeadline), if any.
+// Fault injectors and deadline-aware planners read it to model
+// slowness on the simulated clock.
+func ReplanBudget(ctx context.Context) (float64, bool) { return ilc.ReplanBudget(ctx) }
 
 // New builds a Manager over a running simulator/controller pair.
 // current is the installed plan; replan computes candidate

@@ -47,9 +47,11 @@ const (
 
 // Scenario types: the named large-scale online workloads (diurnal
 // replay, flash crowd, correlated failure storm, rolling repair, Click
-// failover, deviation-triggered replan with table hot-swap), each
-// deterministic under a seed and runnable with hundreds of thousands
-// of managed flows.
+// failover, deviation-triggered replan with table hot-swap, SRLG
+// cascade storm, and the fault-injected chaos run — see
+// Scenario.SRLGs/Faults and response/faultinject), each deterministic
+// under a seed and runnable with hundreds of thousands of managed
+// flows.
 type (
 	// Scenario configures a scenario run (flow count, duration, seed,
 	// flash/storm parameters, allocator mode).

@@ -25,7 +25,10 @@
 // they are verified against.
 package topogen
 
-import itg "response/internal/topogen"
+import (
+	itg "response/internal/topogen"
+	"response/topology"
+)
 
 // Core generator types.
 type (
@@ -36,8 +39,13 @@ type (
 	Config = itg.Config
 	// Instance is one generated network plus its matched workload:
 	// topology, endpoint universe, unit demand shape, scaled traffic
-	// matrix and the topology's maximum routable scale.
+	// matrix, the topology's maximum routable scale and the family's
+	// shared-risk link groups.
 	Instance = itg.Instance
+	// SRLG is a shared-risk link group: links that share a physical
+	// fate (a conduit, a pod domain, a PoP) and fail together under
+	// correlated-failure scenarios.
+	SRLG = itg.SRLG
 )
 
 // Generator families.
@@ -56,3 +64,10 @@ func Families() []Family { return itg.Families() }
 // topology and a matched gravity workload, deterministically from
 // (family, size, seed).
 func Generate(cfg Config) (*Instance, error) { return itg.Generate(cfg) }
+
+// ProximitySRLGs is the geometric shared-risk model for topologies
+// with a planar embedding: links whose midpoints lie within radiusKm
+// of each other (transitively) share one group.
+func ProximitySRLGs(t *topology.Topology, radiusKm float64) []SRLG {
+	return itg.ProximitySRLGs(t, radiusKm)
+}
