@@ -160,9 +160,24 @@ func ReadPlanFrom(r io.Reader, t *Topology) (*Plan, error) {
 	if size > maxArtifactPayload {
 		return nil, fmt.Errorf("%w: payload length %d exceeds limit", ErrBadArtifact, size)
 	}
-	body := make([]byte, size)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, fmt.Errorf("%w: truncated payload: %v", ErrBadArtifact, err)
+	// Read the payload incrementally instead of pre-allocating the
+	// declared length: the daemon accepts artifacts over HTTP, where a
+	// hostile header declaring a near-limit length followed by a short
+	// body must not cost a full-size allocation before the truncation
+	// is even detectable. The buffer grows geometrically with the bytes
+	// actually received and is bounded by the (already vetted) declared
+	// size, so memory is proportional to what the peer really sent.
+	body := make([]byte, 0, int(min(size, 64<<10)))
+	for uint64(len(body)) < size {
+		chunk := size - uint64(len(body))
+		if chunk > 1<<20 {
+			chunk = 1 << 20
+		}
+		off := len(body)
+		body = append(body, make([]byte, chunk)...)
+		if _, err := io.ReadFull(r, body[off:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated payload: %v", ErrBadArtifact, err)
+		}
 	}
 	if got := crc32.ChecksumIEEE(body); got != crc {
 		return nil, fmt.Errorf("%w: payload checksum mismatch", ErrBadArtifact)

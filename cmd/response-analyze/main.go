@@ -6,18 +6,36 @@
 // Usage:
 //
 //	response-analyze -fig 1a|1b|2a|2b|all [-days N] [-stride N] [-csv file]
+//	response-analyze diff [-topo spec] [-json] <planA> <planB>
+//
+// The diff subcommand compares two plan-artifact files (the format
+// response.Plan.WriteTo emits and the controld daemon shelves) and
+// prints the structural delta: pair-table changes, the pinned-link
+// delta and the always-on power delta. -topo names the topology the
+// plans were computed for: a builtin ("geant", "abovenet", "genuity")
+// or a generator spec "gen:<family>:<size>:<seed>".
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
+	"response"
 	"response/experiments"
+	"response/internal/topogen"
+	"response/topology"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		runDiff(os.Args[2:])
+		return
+	}
 	fig := flag.String("fig", "all", "figure to regenerate: 1a, 1b, 2a, 2b or all")
 	days := flag.Int("days", 4, "trace length in days (paper: 15 for GÉANT, 8 for the DC)")
 	stride := flag.Int("stride", 2, "interval sub-sampling stride for replays")
@@ -70,6 +88,81 @@ func main() {
 	default:
 		log.Fatalf("unknown figure %q", *fig)
 	}
+}
+
+// runDiff implements `response-analyze diff <a> <b>`.
+func runDiff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	topoSpec := fs.String("topo", "geant",
+		`topology the plans were computed for: builtin name or "gen:<family>:<size>:<seed>"`)
+	asJSON := fs.Bool("json", false, "emit the diff as JSON instead of the table")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if fs.NArg() != 2 {
+		log.Fatalf("usage: response-analyze diff [-topo spec] [-json] <planA> <planB>")
+	}
+	g, err := resolveTopo(*topoSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := readPlanFile(fs.Arg(0), g)
+	b := readPlanFile(fs.Arg(1), g)
+	d, err := response.DiffPlans(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(d); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	d.Print(os.Stdout)
+}
+
+// resolveTopo parses the -topo spec.
+func resolveTopo(spec string) (*topology.Topology, error) {
+	switch spec {
+	case "geant":
+		return topology.NewGeant(), nil
+	case "abovenet":
+		return topology.NewAbovenet(), nil
+	case "genuity":
+		return topology.NewGenuity(), nil
+	}
+	parts := strings.Split(spec, ":")
+	if len(parts) != 4 || parts[0] != "gen" {
+		return nil, fmt.Errorf(`unknown -topo %q: want a builtin (geant, abovenet, genuity) or "gen:<family>:<size>:<seed>"`, spec)
+	}
+	size, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return nil, fmt.Errorf("-topo %q: bad size: %v", spec, err)
+	}
+	seed, err := strconv.ParseInt(parts[3], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("-topo %q: bad seed: %v", spec, err)
+	}
+	inst, err := topogen.Generate(topogen.Config{
+		Family: topogen.Family(parts[1]), Size: size, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return inst.Topo, nil
+}
+
+func readPlanFile(path string, g *topology.Topology) *response.Plan {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	plan, err := response.ReadPlanFrom(f, g)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return plan
 }
 
 func writeCSV(path string, fn func(*os.File) error) {

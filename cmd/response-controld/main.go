@@ -1,0 +1,83 @@
+// Command response-controld runs the response module's multi-tenant
+// planning-as-a-service daemon: register topologies as tenants, submit
+// asynchronous plan jobs, shelve and diff versioned plan artifacts,
+// promote and roll back plans through each tenant's lifecycle manager,
+// and stream every tenant's event trace — all over a REST/JSON API.
+//
+// Usage:
+//
+//	response-controld [-listen addr] [-workers N] [-max-artifacts N]
+//
+// The daemon prints the bound address on startup (use -listen
+// 127.0.0.1:0 for an ephemeral port) and drains gracefully on SIGINT
+// or SIGTERM: new mutations are refused, queued and running plan jobs
+// are canceled, tenant loops stop, event streams end, and in-flight
+// HTTP requests get a shutdown grace before the process exits.
+//
+// Quickstart (see DESIGN.md §9 for the full API):
+//
+//	curl -s -X POST localhost:8980/v1/tenants -d '{
+//	  "name": "edge1",
+//	  "topology": {"gen": {"family": "fattree", "size": 4, "seed": 7}}
+//	}'
+//	curl -s -X POST localhost:8980/v1/tenants/edge1/jobs
+//	curl -s localhost:8980/v1/tenants/edge1/jobs
+//	curl -s -X POST localhost:8980/v1/tenants/edge1/promote \
+//	     -d '{"artifact": "<digest from the job>"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"response/controld"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8980", "listen address (host:port; port 0 picks an ephemeral port)")
+	workers := flag.Int("workers", 4, "concurrent plan-job slots")
+	maxArtifacts := flag.Int("max-artifacts", 8, "per-tenant artifact retention")
+	grace := flag.Duration("grace", 10*time.Second, "shutdown grace for in-flight HTTP requests")
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("response-controld: listen %s: %v", *listen, err)
+	}
+	srv := controld.New(controld.Opts{Workers: *workers, MaxArtifacts: *maxArtifacts})
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	fmt.Printf("response-controld listening on http://%s\n", ln.Addr())
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := <-sigs
+		log.Printf("response-controld: %v: draining", sig)
+		// Drain the control plane first (cancel jobs, stop tenants, end
+		// event streams), then give in-flight HTTP requests the grace.
+		srv.Drain(context.Background()) //nolint:errcheck // background ctx never errs
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("response-controld: shutdown: %v", err)
+		}
+	}()
+
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("response-controld: serve: %v", err)
+	}
+	<-done
+	log.Printf("response-controld: clean shutdown")
+}

@@ -1,0 +1,213 @@
+package response
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"response/internal/power"
+	"response/internal/topo"
+)
+
+// PairChange classifies how one origin-destination pair's installed
+// tables differ between two plans.
+type PairChange string
+
+// Pair change classes.
+const (
+	// PairAdded: the pair has installed paths only in the newer plan.
+	PairAdded PairChange = "added"
+	// PairRemoved: the pair has installed paths only in the older plan.
+	PairRemoved PairChange = "removed"
+	// PairChanged: the pair exists in both plans with different paths.
+	PairChanged PairChange = "changed"
+)
+
+// PairDiff is one pair's table change between two plans.
+type PairDiff struct {
+	O      NodeID     `json:"o"`
+	D      NodeID     `json:"d"`
+	Change PairChange `json:"change"`
+	// For a changed pair, which table levels moved.
+	AlwaysOn bool `json:"always_on,omitempty"`
+	OnDemand bool `json:"on_demand,omitempty"`
+	Failover bool `json:"failover,omitempty"`
+}
+
+// PlanDiff is the structural delta between two plans of one topology:
+// what a hot-swap from A to B would touch. The lifecycle manager
+// migrates exactly the flows of the changed/added pairs, so
+// PairsChanged bounds swap cost; the pinned-set delta is the set of
+// links whose power state the swap flips; the power delta prices the
+// always-on baseline difference.
+type PlanDiff struct {
+	// Identical reports fingerprint equality — the paper's common case
+	// (recomputation without redeployment).
+	Identical bool `json:"identical"`
+	// FingerprintA/B are the two plans' table fingerprints.
+	FingerprintA uint64 `json:"fingerprint_a"`
+	FingerprintB uint64 `json:"fingerprint_b"`
+	VariantA     string `json:"variant_a"`
+	VariantB     string `json:"variant_b"`
+	// Pair population and delta counts.
+	PairsA         int `json:"pairs_a"`
+	PairsB         int `json:"pairs_b"`
+	PairsAdded     int `json:"pairs_added"`
+	PairsRemoved   int `json:"pairs_removed"`
+	PairsChanged   int `json:"pairs_changed"`
+	PairsUnchanged int `json:"pairs_unchanged"`
+	// Pairs lists every added/removed/changed pair in deterministic
+	// (o, d) order; unchanged pairs are omitted.
+	Pairs []PairDiff `json:"pairs,omitempty"`
+	// Pinned-set delta: links entering (woken by) and leaving (released
+	// to sleep by) the always-on set, ascending LinkID.
+	PinnedAddedLinks   []LinkID `json:"pinned_added_links,omitempty"`
+	PinnedRemovedLinks []LinkID `json:"pinned_removed_links,omitempty"`
+	// Always-on baseline power of each plan under the Cisco12000 model
+	// (every pinned element powered, nothing else), and B−A.
+	WattsA     float64 `json:"watts_a"`
+	WattsB     float64 `json:"watts_b"`
+	WattsDelta float64 `json:"watts_delta"`
+}
+
+// Summary renders the diff as one human-readable line.
+func (d *PlanDiff) Summary() string {
+	if d.Identical {
+		return fmt.Sprintf("plans identical (fingerprint %016x)", d.FingerprintA)
+	}
+	return fmt.Sprintf(
+		"%d pairs added, %d removed, %d changed, %d unchanged; pinned links +%d/-%d; power %+.1f W",
+		d.PairsAdded, d.PairsRemoved, d.PairsChanged, d.PairsUnchanged,
+		len(d.PinnedAddedLinks), len(d.PinnedRemovedLinks), d.WattsDelta)
+}
+
+// Print writes the diff as a small table.
+func (d *PlanDiff) Print(w io.Writer) {
+	fmt.Fprintf(w, "plan A %016x (%s, %d pairs)\n", d.FingerprintA, d.VariantA, d.PairsA)
+	fmt.Fprintf(w, "plan B %016x (%s, %d pairs)\n", d.FingerprintB, d.VariantB, d.PairsB)
+	if d.Identical {
+		fmt.Fprintln(w, "identical tables")
+		return
+	}
+	fmt.Fprintf(w, "pairs: %d added, %d removed, %d changed, %d unchanged\n",
+		d.PairsAdded, d.PairsRemoved, d.PairsChanged, d.PairsUnchanged)
+	fmt.Fprintf(w, "always-on links: %d woken, %d released\n",
+		len(d.PinnedAddedLinks), len(d.PinnedRemovedLinks))
+	fmt.Fprintf(w, "always-on power: %.1f W -> %.1f W (%+.1f W)\n",
+		d.WattsA, d.WattsB, d.WattsDelta)
+}
+
+// DiffPlans computes the structural delta from plan a to plan b. Both
+// plans must be for the same topology (same fingerprint); otherwise
+// the diff would compare unrelated node IDs and the call fails with
+// ErrTopologyMismatch. Neither plan is modified; the result is
+// deterministic and JSON-serializable (the controld artifact API and
+// the response-analyze diff subcommand both emit it).
+func DiffPlans(a, b *Plan) (*PlanDiff, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("response: DiffPlans: nil plan")
+	}
+	ta, tb := a.Topology(), b.Topology()
+	if ta.Fingerprint() != tb.Fingerprint() {
+		return nil, fmt.Errorf("%w: plan A is for %q (%016x), plan B for %q (%016x)",
+			ErrTopologyMismatch, ta.Name, ta.Fingerprint(), tb.Name, tb.Fingerprint())
+	}
+
+	d := &PlanDiff{
+		FingerprintA: a.Fingerprint(),
+		FingerprintB: b.Fingerprint(),
+		VariantA:     a.Variant(),
+		VariantB:     b.Variant(),
+	}
+	d.Identical = d.FingerprintA == d.FingerprintB
+
+	keysA, keysB := a.Pairs(), b.Pairs()
+	d.PairsA, d.PairsB = len(keysA), len(keysB)
+
+	// Merge the two deterministic pair-key sequences.
+	inB := make(map[[2]NodeID]bool, len(keysB))
+	for _, k := range keysB {
+		inB[k] = true
+	}
+	for _, k := range keysA {
+		psa, _ := a.PathSet(k[0], k[1])
+		if !inB[k] {
+			d.PairsRemoved++
+			d.Pairs = append(d.Pairs, PairDiff{O: k[0], D: k[1], Change: PairRemoved})
+			continue
+		}
+		psb, _ := b.PathSet(k[0], k[1])
+		pd := PairDiff{O: k[0], D: k[1], Change: PairChanged}
+		pd.AlwaysOn = !psa.AlwaysOn.Equal(psb.AlwaysOn)
+		pd.Failover = !psa.Failover.Equal(psb.Failover)
+		pd.OnDemand = !samePaths(psa.OnDemand, psb.OnDemand)
+		if pd.AlwaysOn || pd.Failover || pd.OnDemand {
+			d.PairsChanged++
+			d.Pairs = append(d.Pairs, pd)
+		} else {
+			d.PairsUnchanged++
+		}
+	}
+	inA := make(map[[2]NodeID]bool, len(keysA))
+	for _, k := range keysA {
+		inA[k] = true
+	}
+	for _, k := range keysB {
+		if !inA[k] {
+			d.PairsAdded++
+			d.Pairs = append(d.Pairs, PairDiff{O: k[0], D: k[1], Change: PairAdded})
+		}
+	}
+	sortPairDiffs(d.Pairs)
+
+	// Pinned-set delta and the always-on baseline power it prices.
+	sa, sb := a.AlwaysOnSet(), b.AlwaysOnSet()
+	for i := range sb.Link {
+		on2 := sb.Link[i]
+		var on1 bool
+		if i < len(sa.Link) {
+			on1 = sa.Link[i]
+		}
+		if on2 && !on1 {
+			d.PinnedAddedLinks = append(d.PinnedAddedLinks, LinkID(i))
+		}
+	}
+	for i := range sa.Link {
+		on1 := sa.Link[i]
+		var on2 bool
+		if i < len(sb.Link) {
+			on2 = sb.Link[i]
+		}
+		if on1 && !on2 {
+			d.PinnedRemovedLinks = append(d.PinnedRemovedLinks, LinkID(i))
+		}
+	}
+	model := power.Cisco12000{}
+	d.WattsA = power.NetworkWatts(ta, model, sa)
+	d.WattsB = power.NetworkWatts(ta, model, sb)
+	d.WattsDelta = d.WattsB - d.WattsA
+	return d, nil
+}
+
+// samePaths reports element-wise path equality.
+func samePaths(a, b []topo.Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortPairDiffs orders by (O, D).
+func sortPairDiffs(pairs []PairDiff) {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].O != pairs[j].O {
+			return pairs[i].O < pairs[j].O
+		}
+		return pairs[i].D < pairs[j].D
+	})
+}

@@ -1,0 +1,146 @@
+package response_test
+
+// DiffPlans contract: deterministic structural delta between two plans
+// of one topology, identical-plan short-circuit, and refusal to compare
+// across topologies. The daemon artifact API and `response-analyze
+// diff` both ship the PlanDiff verbatim, so its counts must be
+// internally consistent.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"response"
+	"response/internal/topogen"
+)
+
+func diffInstance(t *testing.T, seed int64) (*response.Plan, *response.Plan) {
+	t.Helper()
+	inst, err := topogen.Generate(topogen.Config{
+		Family: topogen.FamilyWaxman, Size: 16, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	planner := response.NewPlanner(response.WithEndpoints(inst.Endpoints))
+	a, err := planner.Plan(context.Background(), inst.Topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := planner.Plan(context.Background(), inst.Topo, response.WithLowMatrix(inst.TM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestDiffPlansIdentical(t *testing.T) {
+	a, _ := diffInstance(t, 3)
+	d, err := response.DiffPlans(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Identical {
+		t.Fatal("self-diff not identical")
+	}
+	if d.PairsAdded != 0 || d.PairsRemoved != 0 || d.PairsChanged != 0 || len(d.Pairs) != 0 {
+		t.Fatalf("self-diff has deltas: %+v", d)
+	}
+	if d.PairsUnchanged != d.PairsA || d.PairsA != d.PairsB {
+		t.Fatalf("self-diff pair counts inconsistent: %+v", d)
+	}
+	if len(d.PinnedAddedLinks) != 0 || len(d.PinnedRemovedLinks) != 0 || d.WattsDelta != 0 {
+		t.Fatalf("self-diff has pinned/power deltas: %+v", d)
+	}
+	if !strings.Contains(d.Summary(), "identical") {
+		t.Fatalf("Summary() = %q", d.Summary())
+	}
+}
+
+func TestDiffPlansDelta(t *testing.T) {
+	a, b := diffInstance(t, 3)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Skip("ε-plan and demand-aware replan converged on this seed")
+	}
+	d, err := response.DiffPlans(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Identical {
+		t.Fatal("differing fingerprints reported identical")
+	}
+	if d.FingerprintA != a.Fingerprint() || d.FingerprintB != b.Fingerprint() {
+		t.Fatalf("fingerprints not carried: %+v", d)
+	}
+	// Count consistency: every pair in A is removed, changed or
+	// unchanged; every pair in B is added, changed or unchanged; the
+	// listed pairs are exactly the non-unchanged ones.
+	if d.PairsA != d.PairsRemoved+d.PairsChanged+d.PairsUnchanged {
+		t.Fatalf("A-side counts inconsistent: %+v", d)
+	}
+	if d.PairsB != d.PairsAdded+d.PairsChanged+d.PairsUnchanged {
+		t.Fatalf("B-side counts inconsistent: %+v", d)
+	}
+	if len(d.Pairs) != d.PairsAdded+d.PairsRemoved+d.PairsChanged {
+		t.Fatalf("pair list length %d vs counts %+v", len(d.Pairs), d)
+	}
+	if d.PairsChanged == 0 && d.PairsAdded == 0 && d.PairsRemoved == 0 {
+		t.Fatal("differing plans produced an empty delta")
+	}
+	// Deterministic (o, d) order.
+	for i := 1; i < len(d.Pairs); i++ {
+		p, q := d.Pairs[i-1], d.Pairs[i]
+		if p.O > q.O || (p.O == q.O && p.D >= q.D) {
+			t.Fatalf("pair list out of order at %d: %+v then %+v", i, p, q)
+		}
+	}
+	for _, p := range d.Pairs {
+		if p.Change == response.PairChanged && !p.AlwaysOn && !p.OnDemand && !p.Failover {
+			t.Fatalf("changed pair %d->%d with no level flagged", p.O, p.D)
+		}
+	}
+	if d.WattsA <= 0 || d.WattsB <= 0 {
+		t.Fatalf("non-positive baseline power: %+v", d)
+	}
+	if d.WattsDelta != d.WattsB-d.WattsA {
+		t.Fatalf("watts delta %g != %g - %g", d.WattsDelta, d.WattsB, d.WattsA)
+	}
+	// Deterministic across calls, both directions consistent.
+	d2, err := response.DiffPlans(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := json.Marshal(d)
+	j2, _ := json.Marshal(d2)
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("DiffPlans is not deterministic")
+	}
+	rev, err := response.DiffPlans(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.PairsAdded != d.PairsRemoved || rev.PairsRemoved != d.PairsAdded ||
+		rev.PairsChanged != d.PairsChanged || rev.WattsDelta != -d.WattsDelta {
+		t.Fatalf("reverse diff not symmetric: %+v vs %+v", rev, d)
+	}
+	var buf bytes.Buffer
+	d.Print(&buf)
+	if buf.Len() == 0 || !strings.Contains(buf.String(), "pairs:") {
+		t.Fatalf("Print output: %q", buf.String())
+	}
+}
+
+func TestDiffPlansTopologyMismatch(t *testing.T) {
+	a, _ := diffInstance(t, 3)
+	c, _ := diffInstance(t, 4)
+	if _, err := response.DiffPlans(a, c); !errors.Is(err, response.ErrTopologyMismatch) {
+		t.Fatalf("cross-topology diff error = %v, want ErrTopologyMismatch", err)
+	}
+	if _, err := response.DiffPlans(nil, a); err == nil {
+		t.Fatal("nil plan accepted")
+	}
+}

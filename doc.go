@@ -72,6 +72,17 @@
 // groups with statistics-driven cascading failures behind them. See
 // DESIGN.md §8.
 //
+// # Planning as a service
+//
+// response/controld hosts many independent REsPoNse control loops in
+// one long-running daemon (binary: cmd/response-controld) behind a
+// REST/JSON management API: register topologies as tenants, submit
+// cancellable asynchronous plan jobs against the live demand snapshot,
+// shelve results in a content-addressed artifact store with bounded
+// retention, diff them with DiffPlans, promote and roll back through
+// each tenant's lifecycle manager, patch trigger policies without a
+// restart, and stream every tenant's event trace. See DESIGN.md §9.
+//
 // # Companion packages
 //
 //   - response/topology:      network model and builders (fat-tree, GÉANT, ...)
@@ -80,6 +91,7 @@
 //   - response/simulate:      discrete-event simulator + REsPoNseTE controller
 //   - response/lifecycle:     deviation-triggered replanning + table hot-swap
 //   - response/faultinject:   seed-deterministic control-plane fault injection
+//   - response/controld:      multi-tenant planning-as-a-service daemon
 //   - response/experiments:   one entry point per reproduced paper figure
 //
 // Correctness is property-based, not only pinned: response/topogen

@@ -13,6 +13,7 @@ package response_test
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"errors"
 	"sync"
 	"testing"
@@ -57,6 +58,26 @@ func FuzzReadPlanFrom(f *testing.F) {
 	f.Add(mutate(func(b []byte) { b[35] = 0x7f }))      // absurd length
 	f.Add(mutate(func(b []byte) { b[len(b)-3] = '}' })) // JSON damage
 	f.Add(mutate(func(b []byte) { b[60] ^= 0x20 }))     // payload bitflip
+	// Hostile declared lengths: the daemon accepts artifacts over HTTP,
+	// so a header announcing a huge payload backed by a tiny (or empty)
+	// body must fail cheaply — classified as ErrBadArtifact without an
+	// attacker-sized allocation — never hang or panic.
+	hugeLen := func(n uint64, body int) []byte {
+		b := append([]byte(nil), valid[:40]...)
+		binary.BigEndian.PutUint64(b[32:40], n)
+		for i := 0; i < body; i++ {
+			b = append(b, byte(i))
+		}
+		return b
+	}
+	f.Add(hugeLen(1<<26, 0))          // exactly the limit, empty body
+	f.Add(hugeLen(1<<26, 100))        // exactly the limit, 100-byte body
+	f.Add(hugeLen(1<<26-1, 3))        // just under the limit
+	f.Add(hugeLen(1<<26+1, 8))        // just over the limit
+	f.Add(hugeLen(1<<40, 0))          // terabyte claim
+	f.Add(hugeLen(^uint64(0), 16))    // 2^64-1
+	f.Add(hugeLen(1<<63, 0))          // sign-bit probe
+	f.Add(hugeLen(uint64(1<<20), 50)) // plausible length, short body
 
 	top := topology.NewExample(topology.ExampleOpts{}).Topology
 	f.Fuzz(func(t *testing.T, data []byte) {

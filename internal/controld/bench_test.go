@@ -1,0 +1,183 @@
+package controld
+
+// BenchmarkControld100Tenants is the PR's acceptance gate: one daemon
+// process hosting 100 tenants, each driven by its own goroutine through
+// concurrent lifecycle rounds (manual time advances, async plan jobs,
+// artifact promotion, hot config patches, diffs) over the real HTTP
+// handler. Run it under -race; it fails if any tenant's installed
+// tables break a paper invariant at the end.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"response/internal/core"
+	"response/internal/verify"
+)
+
+// benchClient is a b-flavoured JSON client: helpers return the status
+// code so callers can tolerate expected contention (e.g. a 409 from a
+// promote racing a mid-swap manager).
+type benchClient struct {
+	b  *testing.B
+	ts *httptest.Server
+}
+
+func (c *benchClient) req(method, path string, body, out any) int {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			c.b.Error(err)
+			return 0
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, c.ts.URL+path, rd)
+	if err != nil {
+		c.b.Error(err)
+		return 0
+	}
+	resp, err := c.ts.Client().Do(req)
+	if err != nil {
+		c.b.Errorf("%s %s: %v", method, path, err)
+		return 0
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			c.b.Errorf("%s %s: decode %q: %v", method, path, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// must fails the benchmark unless the request returns want.
+func (c *benchClient) must(method, path string, body, out any, want int) {
+	if got := c.req(method, path, body, out); got != want {
+		c.b.Errorf("%s %s: status %d, want %d", method, path, got, want)
+	}
+}
+
+func BenchmarkControld100Tenants(b *testing.B) {
+	const (
+		tenants = 100
+		rounds  = 2
+	)
+	for iter := 0; iter < b.N; iter++ {
+		s := New(Opts{Workers: 8, MaxArtifacts: 4})
+		ts := httptest.NewServer(s.Handler())
+		c := &benchClient{b: b, ts: ts}
+
+		// Register all tenants concurrently: small Waxman graphs with a
+		// light flow load, manual time so rounds are deterministic.
+		var wg sync.WaitGroup
+		for i := 0; i < tenants; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				spec := TenantSpec{
+					Name:     fmt.Sprintf("t%03d", i),
+					Topology: TopologySpec{Gen: &GenSpec{Family: "waxman", Size: 6, Seed: int64(1000 + i)}},
+					Workload: &WorkloadSpec{Flows: 12, Seed: int64(i)},
+				}
+				if i%10 == 0 {
+					// Every tenth tenant replans under fault injection.
+					spec.Faults = &FaultSpec{Seed: int64(i), ErrorRate: 0.3}
+				}
+				c.must("POST", "/v1/tenants", spec, nil, http.StatusCreated)
+			}(i)
+		}
+		wg.Wait()
+
+		// Concurrent lifecycle loops: each tenant's goroutine advances
+		// time, patches policy, runs a plan job, promotes the result and
+		// diffs it against the shelf — all interleaving with 99 others.
+		for i := 0; i < tenants; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				name := fmt.Sprintf("t%03d", i)
+				base := "/v1/tenants/" + name
+				for r := 0; r < rounds; r++ {
+					c.must("POST", base+"/advance", advanceRequest{SimSec: 1800}, nil, http.StatusOK)
+
+					dev := 0.15 + 0.01*float64(i%5)
+					c.must("PATCH", base+"/config", PolicyPatch{Deviation: &dev}, nil, http.StatusOK)
+
+					var job jobView
+					c.must("POST", base+"/jobs", nil, &job, http.StatusAccepted)
+					deadline := time.Now().Add(60 * time.Second)
+					for {
+						c.must("GET", base+"/jobs/"+job.ID, nil, &job, http.StatusOK)
+						if job.State == JobDone || job.State == JobFailed || job.State == JobCanceled {
+							break
+						}
+						if time.Now().After(deadline) {
+							b.Errorf("%s: job %s stuck in %q", name, job.ID, job.State)
+							return
+						}
+						time.Sleep(2 * time.Millisecond)
+					}
+					if job.State != JobDone {
+						b.Errorf("%s: job %s ended %q (%s)", name, job.ID, job.State, job.Error)
+						return
+					}
+
+					// Promotion can hit a manager mid-swap from the prior
+					// round; 409 is legal contention, anything else is not.
+					code := c.req("POST", base+"/promote",
+						map[string]string{"artifact": job.Artifact}, nil)
+					if code != http.StatusOK && code != http.StatusConflict {
+						b.Errorf("%s: promote returned %d", name, code)
+						return
+					}
+					// Let any staged swap complete before the next round.
+					c.must("POST", base+"/advance", advanceRequest{SimSec: 1800}, nil, http.StatusOK)
+
+					var arts []artifactEntry
+					c.must("GET", base+"/artifacts", nil, &arts, http.StatusOK)
+					if len(arts) >= 2 {
+						code := c.req("GET", base+"/diff?a="+arts[len(arts)-1].Digest+"&b="+arts[0].Digest, nil, nil)
+						if code != http.StatusOK {
+							b.Errorf("%s: diff returned %d", name, code)
+							return
+						}
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+
+		// Invariant gate: every tenant's installed tables must still
+		// satisfy the paper's properties. Plans are immutable, so the
+		// loop-goroutine round-trip only snapshots the pointer.
+		violations := 0
+		for _, t := range s.reg.all() {
+			var tb *core.Tables
+			if err := t.do(func() { tb = t.rep.Mgr.CurrentPlan().Tables() }); err != nil {
+				b.Errorf("%s: %v", t.name, err)
+				continue
+			}
+			if rep := verify.CheckTables(t.topoGraph, tb, verify.Opts{}); !rep.Ok() {
+				violations++
+				b.Errorf("%s: invariant violations:\n%v", t.name, rep.Err())
+			}
+		}
+		if violations != 0 {
+			b.Fatalf("%d tenants with failed invariant checks", violations)
+		}
+
+		ts.Close()
+		s.Close()
+	}
+	b.ReportMetric(float64(tenants), "tenants/op")
+}

@@ -1,0 +1,371 @@
+package controld
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"response"
+)
+
+// JobState is a plan job's lifecycle state.
+type JobState string
+
+// Job states. A job is terminal in JobDone, JobFailed or JobCanceled.
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Job is one asynchronous plan computation. Submission returns
+// immediately with the job ID; the scheduler runs it when a worker
+// slot and the tenant's turn come up. Cancel works in any non-terminal
+// state: a queued job is unlinked without ever running, a running one
+// has its context canceled so Planner.Plan unwinds with ErrCanceled.
+type Job struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+
+	mu     sync.Mutex
+	state  JobState
+	errMsg string
+	digest string
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// snapshot is the JSON view of a job.
+type jobView struct {
+	ID       string   `json:"id"`
+	Tenant   string   `json:"tenant"`
+	State    JobState `json:"state"`
+	Error    string   `json:"error,omitempty"`
+	Artifact string   `json:"artifact,omitempty"`
+}
+
+func (j *Job) view() jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobView{ID: j.ID, Tenant: j.Tenant, State: j.state, Error: j.errMsg, Artifact: j.digest}
+}
+
+// State returns the job's current state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+func (j *Job) finish(state JobState, errMsg, digest string) {
+	j.mu.Lock()
+	j.state = state
+	j.errMsg = errMsg
+	j.digest = digest
+	j.cancel = nil
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// errJobsDraining rejects submissions once shutdown has begun.
+var errJobsDraining = errors.New("controld: job scheduler draining")
+
+// scheduler runs plan jobs on a bounded worker pool with fair queueing
+// across tenants: each tenant holds a FIFO queue, and free slots are
+// handed out round-robin over the tenants that have work, so one
+// tenant spraying submissions cannot starve the rest — with W workers,
+// a newly submitted job waits at most (tenants with queued work) × (a
+// slot's service time) regardless of any other tenant's backlog.
+type scheduler struct {
+	run func(ctx context.Context, j *Job) (digest string, err error)
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queues   map[string][]*Job
+	ring     []string // tenants with queued work, round-robin order
+	rr       int
+	running  map[string]*Job // by job ID
+	jobs     map[string]*Job // every job ever, by ID (bounded by retention)
+	byTenant map[string][]*Job
+	slots    int
+	inUse    int
+	seq      int
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// jobRetention bounds the per-tenant terminal-job history.
+const jobRetention = 32
+
+func newScheduler(workers int, run func(ctx context.Context, j *Job) (string, error)) *scheduler {
+	s := &scheduler{
+		run:      run,
+		queues:   make(map[string][]*Job),
+		running:  make(map[string]*Job),
+		jobs:     make(map[string]*Job),
+		byTenant: make(map[string][]*Job),
+		slots:    workers,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(1)
+	go s.dispatch()
+	return s
+}
+
+// submit enqueues a job for a tenant.
+func (s *scheduler) submit(tenant string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, errJobsDraining
+	}
+	s.seq++
+	j := &Job{
+		ID:     fmt.Sprintf("job-%s-%d", tenant, s.seq),
+		Tenant: tenant,
+		state:  JobQueued,
+		done:   make(chan struct{}),
+	}
+	if len(s.queues[tenant]) == 0 {
+		s.ring = append(s.ring, tenant)
+	}
+	s.queues[tenant] = append(s.queues[tenant], j)
+	s.jobs[j.ID] = j
+	s.byTenant[tenant] = append(s.byTenant[tenant], j)
+	s.trimLocked(tenant)
+	s.cond.Signal()
+	return j, nil
+}
+
+// get returns a job by ID.
+func (s *scheduler) get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// list returns a tenant's jobs, oldest first.
+func (s *scheduler) list(tenant string) []jobView {
+	s.mu.Lock()
+	js := append([]*Job(nil), s.byTenant[tenant]...)
+	s.mu.Unlock()
+	out := make([]jobView, len(js))
+	for i, j := range js {
+		out[i] = j.view()
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// cancelJob cancels one job. Queued jobs are unlinked and finish as
+// JobCanceled without running; running jobs get their context
+// canceled and finish when the planner unwinds. Terminal jobs are
+// left alone (reported as false).
+func (s *scheduler) cancelJob(id string) (bool, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return false, fmt.Errorf("controld: unknown job %q", id)
+	}
+	// Queued: unlink from the tenant queue under the scheduler lock so
+	// the dispatcher can never pick it concurrently.
+	q := s.queues[j.Tenant]
+	for i, qj := range q {
+		if qj == j {
+			s.queues[j.Tenant] = append(q[:i:i], q[i+1:]...)
+			if len(s.queues[j.Tenant]) == 0 {
+				delete(s.queues, j.Tenant)
+				s.dropFromRing(j.Tenant)
+			}
+			s.mu.Unlock()
+			j.finish(JobCanceled, "canceled while queued", "")
+			return true, nil
+		}
+	}
+	s.mu.Unlock()
+
+	j.mu.Lock()
+	cancel := j.cancel
+	terminal := j.state != JobRunning
+	j.mu.Unlock()
+	if terminal {
+		return false, nil
+	}
+	if cancel != nil {
+		cancel()
+	}
+	return true, nil
+}
+
+// cancelTenant cancels every non-terminal job of one tenant
+// (tenant deletion path).
+func (s *scheduler) cancelTenant(tenant string) {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.byTenant[tenant]))
+	for _, j := range s.byTenant[tenant] {
+		ids = append(ids, j.ID)
+	}
+	s.mu.Unlock()
+	for _, id := range ids {
+		s.cancelJob(id) //nolint:errcheck // unknown/terminal are fine here
+	}
+}
+
+// forgetTenant drops a deleted tenant's job history.
+func (s *scheduler) forgetTenant(tenant string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.byTenant[tenant] {
+		delete(s.jobs, j.ID)
+	}
+	delete(s.byTenant, tenant)
+}
+
+// shutdown stops accepting jobs, cancels everything queued or running
+// and waits for the workers to unwind.
+func (s *scheduler) shutdown() {
+	s.mu.Lock()
+	s.draining = true
+	var queued []*Job
+	for t, q := range s.queues {
+		queued = append(queued, q...)
+		delete(s.queues, t)
+	}
+	s.ring = nil
+	var cancels []context.CancelFunc
+	for _, j := range s.running {
+		j.mu.Lock()
+		if j.cancel != nil {
+			cancels = append(cancels, j.cancel)
+		}
+		j.mu.Unlock()
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	for _, j := range queued {
+		j.finish(JobCanceled, "daemon draining", "")
+	}
+	for _, c := range cancels {
+		c()
+	}
+	s.wg.Wait()
+}
+
+// dispatch is the scheduler loop: wait for a slot and queued work,
+// pick the next tenant round-robin, pop its oldest job and run it on
+// a fresh goroutine.
+func (s *scheduler) dispatch() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for !s.draining && (s.inUse >= s.slots || len(s.ring) == 0) {
+			s.cond.Wait()
+		}
+		if s.draining {
+			// Outstanding workers are awaited by shutdown via s.wg.
+			s.mu.Unlock()
+			return
+		}
+		tenant := s.ring[s.rr%len(s.ring)]
+		q := s.queues[tenant]
+		j := q[0]
+		if len(q) == 1 {
+			delete(s.queues, tenant)
+			s.dropFromRing(tenant)
+		} else {
+			s.queues[tenant] = q[1:]
+			s.rr++ // move past this tenant for the next pick
+		}
+		s.inUse++
+		s.running[j.ID] = j
+		s.mu.Unlock()
+
+		ctx, cancel := context.WithCancel(context.Background())
+		j.mu.Lock()
+		j.state = JobRunning
+		j.cancel = cancel
+		j.mu.Unlock()
+
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.runOne(ctx, cancel, j)
+		}()
+	}
+}
+
+// runOne executes one job and releases its slot.
+func (s *scheduler) runOne(ctx context.Context, cancel context.CancelFunc, j *Job) {
+	defer cancel()
+	digest, err := func() (d string, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("controld: plan job panicked: %v", r)
+			}
+		}()
+		return s.run(ctx, j)
+	}()
+	switch {
+	case err == nil:
+		j.finish(JobDone, "", digest)
+	case errors.Is(err, response.ErrCanceled) || errors.Is(err, context.Canceled):
+		j.finish(JobCanceled, err.Error(), "")
+	default:
+		j.finish(JobFailed, err.Error(), "")
+	}
+	s.mu.Lock()
+	delete(s.running, j.ID)
+	s.inUse--
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// dropFromRing removes a tenant from the round-robin ring, keeping the
+// rotation index stable for the tenants after it.
+func (s *scheduler) dropFromRing(tenant string) {
+	for i, t := range s.ring {
+		if t == tenant {
+			s.ring = append(s.ring[:i:i], s.ring[i+1:]...)
+			if i < s.rr {
+				s.rr--
+			}
+			if len(s.ring) > 0 {
+				s.rr %= len(s.ring)
+			} else {
+				s.rr = 0
+			}
+			return
+		}
+	}
+}
+
+// trimLocked bounds a tenant's terminal-job history.
+func (s *scheduler) trimLocked(tenant string) {
+	js := s.byTenant[tenant]
+	if len(js) <= jobRetention {
+		return
+	}
+	kept := js[:0]
+	excess := len(js) - jobRetention
+	for _, j := range js {
+		j.mu.Lock()
+		terminal := j.state == JobDone || j.state == JobFailed || j.state == JobCanceled
+		j.mu.Unlock()
+		if excess > 0 && terminal {
+			delete(s.jobs, j.ID)
+			excess--
+			continue
+		}
+		kept = append(kept, j)
+	}
+	s.byTenant[tenant] = kept
+}

@@ -1,0 +1,251 @@
+package controld
+
+// Job-lifecycle edge cases: cancel while queued (the job never runs),
+// cancel mid-plan (the context unwinds Planner.Plan with ErrCanceled
+// and the worker slot is freed), round-robin fairness across tenants,
+// and artifact-store GC protection for the promoted / last-known-good
+// / staged artifacts. The PlanHook seam stands in for the planner so
+// blocking and cancellation are fully deterministic.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"response"
+)
+
+// tinySpec is a minimal inline tenant: registration still plans it,
+// but a triangle plans in microseconds.
+func tinySpec(name string) TenantSpec {
+	return TenantSpec{
+		Name: name,
+		Topology: TopologySpec{Inline: &InlineTopology{
+			Name: "tri-" + name,
+			Nodes: []InlineNode{
+				{Name: "a"}, {Name: "b"}, {Name: "c"},
+			},
+			Links: []InlineLink{
+				{A: "a", B: "b", CapacityGbps: 10},
+				{A: "b", B: "c", CapacityGbps: 10},
+				{A: "c", B: "a", CapacityGbps: 10},
+			},
+		}},
+		Workload: &WorkloadSpec{Flows: 6},
+	}
+}
+
+// blockingHook is a PlanHook whose calls park until released (or
+// until their context is canceled, which wins).
+type blockingHook struct {
+	mu      sync.Mutex
+	started chan string   // receives the tenant of each call as it begins
+	release chan struct{} // close to let parked calls finish
+	order   []string
+}
+
+func newBlockingHook() *blockingHook {
+	return &blockingHook{
+		started: make(chan string, 64),
+		release: make(chan struct{}),
+	}
+}
+
+func (h *blockingHook) plan(ctx context.Context, tenant string) (*response.Plan, error) {
+	h.mu.Lock()
+	h.order = append(h.order, tenant)
+	h.mu.Unlock()
+	h.started <- tenant
+	select {
+	case <-ctx.Done():
+		return nil, fmt.Errorf("%w: plan job canceled", response.ErrCanceled)
+	case <-h.release:
+		return nil, fmt.Errorf("hook finished without a plan")
+	}
+}
+
+func (h *blockingHook) serviceOrder() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]string(nil), h.order...)
+}
+
+func TestJobCancelWhileQueued(t *testing.T) {
+	hook := newBlockingHook()
+	_, c := newTestDaemon(t, Opts{Workers: 1, PlanHook: hook.plan})
+	c.req("POST", "/v1/tenants", tinySpec("solo"), http.StatusCreated, nil)
+
+	// First job occupies the only worker slot; the second stays queued.
+	var j1, j2 jobView
+	c.req("POST", "/v1/tenants/solo/jobs", nil, http.StatusAccepted, &j1)
+	<-hook.started
+	c.req("POST", "/v1/tenants/solo/jobs", nil, http.StatusAccepted, &j2)
+
+	var res struct {
+		Canceled bool    `json:"canceled"`
+		Job      jobView `json:"job"`
+	}
+	c.req("DELETE", "/v1/tenants/solo/jobs/"+j2.ID, nil, http.StatusOK, &res)
+	if !res.Canceled {
+		t.Fatalf("cancel of queued job reported %+v", res)
+	}
+	if got := c.waitJob("solo", j2.ID); got.State != JobCanceled {
+		t.Fatalf("queued job ended as %q, want canceled", got.State)
+	}
+	// The canceled job must never have reached the hook.
+	if order := hook.serviceOrder(); len(order) != 1 {
+		t.Fatalf("hook saw %d calls, want 1 (the running job only)", len(order))
+	}
+	// Canceling a terminal job is a polite no-op.
+	c.req("DELETE", "/v1/tenants/solo/jobs/"+j2.ID, nil, http.StatusOK, &res)
+	if res.Canceled {
+		t.Fatal("cancel of a terminal job reported canceled=true")
+	}
+	// Unblock the runner; with the queued job gone it is the only one
+	// left, and its non-cancel return path marks it failed.
+	close(hook.release)
+	if got := c.waitJob("solo", j1.ID); got.State != JobFailed {
+		t.Fatalf("running job ended as %q, want failed", got.State)
+	}
+}
+
+func TestJobCancelMidPlanFreesSlot(t *testing.T) {
+	hook := newBlockingHook()
+	_, c := newTestDaemon(t, Opts{Workers: 1, PlanHook: hook.plan})
+	c.req("POST", "/v1/tenants", tinySpec("solo"), http.StatusCreated, nil)
+
+	var j1 jobView
+	c.req("POST", "/v1/tenants/solo/jobs", nil, http.StatusAccepted, &j1)
+	<-hook.started // the hook is now parked on ctx
+
+	c.req("DELETE", "/v1/tenants/solo/jobs/"+j1.ID, nil, http.StatusOK, nil)
+	done := c.waitJob("solo", j1.ID)
+	if done.State != JobCanceled {
+		t.Fatalf("mid-plan cancel ended as %+v, want canceled", done)
+	}
+
+	// The slot must be free again: a second job starts running (its
+	// hook call begins) without any release of the first.
+	var j2 jobView
+	c.req("POST", "/v1/tenants/solo/jobs", nil, http.StatusAccepted, &j2)
+	select {
+	case <-hook.started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("slot was not freed by the mid-plan cancel")
+	}
+	c.req("DELETE", "/v1/tenants/solo/jobs/"+j2.ID, nil, http.StatusOK, nil)
+	c.waitJob("solo", j2.ID)
+}
+
+// TestJobFairQueueing: with one worker, a tenant spraying submissions
+// cannot starve another — service alternates round-robin.
+func TestJobFairQueueing(t *testing.T) {
+	hook := newBlockingHook()
+	srv, c := newTestDaemon(t, Opts{Workers: 1, PlanHook: hook.plan})
+	c.req("POST", "/v1/tenants", tinySpec("spray"), http.StatusCreated, nil)
+	c.req("POST", "/v1/tenants", tinySpec("meek"), http.StatusCreated, nil)
+
+	// Fill the slot, then queue: spray×3 ahead of meek×2 in arrival
+	// order.
+	var first jobView
+	c.req("POST", "/v1/tenants/spray/jobs", nil, http.StatusAccepted, &first)
+	<-hook.started
+	var rest []jobView
+	for _, tn := range []string{"spray", "spray", "spray", "meek", "meek"} {
+		var j jobView
+		c.req("POST", "/v1/tenants/"+tn+"/jobs", nil, http.StatusAccepted, &j)
+		rest = append(rest, j)
+	}
+	// Release everything: parked calls return, queued ones start and
+	// return in dispatch order.
+	close(hook.release)
+	for _, j := range rest {
+		c.waitJob(j.Tenant, j.ID)
+	}
+	c.waitJob("spray", first.ID)
+	order := hook.serviceOrder()
+	want := []string{"spray", "spray", "meek", "spray", "meek", "spray"}
+	if len(order) != len(want) {
+		t.Fatalf("service order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("service order %v, want %v (round-robin)", order, want)
+		}
+	}
+	_ = srv
+}
+
+func TestStoreGCProtection(t *testing.T) {
+	st := newArtifactStore(3)
+	put := func(tag string) string {
+		return st.put([]byte(tag), 1, "v", 1, "test")
+	}
+	a, b, c := put("a"), put("b"), put("c")
+	st.setPromoted(a)
+	st.setPromoted(b) // a becomes last-known-good
+
+	// The shelf is full with {promoted b, last-good a, c}. New puts
+	// must evict only c-and-later unprotected entries, never a or b.
+	for i := 0; i < 8; i++ {
+		put(fmt.Sprintf("filler-%d", i))
+	}
+	if _, ok := st.get(a); !ok {
+		t.Fatal("GC evicted the last-known-good artifact")
+	}
+	if _, ok := st.get(b); !ok {
+		t.Fatal("GC evicted the promoted artifact")
+	}
+	if _, ok := st.get(c); ok {
+		t.Fatal("GC kept an old unprotected artifact past the cap")
+	}
+
+	// A staged artifact survives GC for the duration of the pin.
+	d := put("d")
+	release, ok := st.stage(d)
+	if !ok {
+		t.Fatal("stage of a shelved artifact failed")
+	}
+	for i := 0; i < 8; i++ {
+		put(fmt.Sprintf("late-%d", i))
+	}
+	if _, ok := st.get(d); !ok {
+		t.Fatal("GC evicted a staged artifact mid-promote")
+	}
+	release()
+	put("evictor")
+	// After release d is fair game again (the oldest unprotected).
+	if _, ok := st.get(d); ok {
+		t.Fatal("released artifact was not GC-eligible")
+	}
+
+	// Promotion flags show up in the listing.
+	for _, e := range st.list() {
+		if e.Digest == b && !e.Promoted {
+			t.Fatal("promoted flag missing in listing")
+		}
+		if e.Digest == a && !e.LastGood {
+			t.Fatal("last-good flag missing in listing")
+		}
+	}
+	if _, ok := st.stage("nope"); ok {
+		t.Fatal("stage of an unknown digest succeeded")
+	}
+}
+
+// TestJobSurvivesTenantDeletion: deleting a tenant cancels its
+// running job and scrubs its job history.
+func TestJobCanceledByTenantDeletion(t *testing.T) {
+	hook := newBlockingHook()
+	_, c := newTestDaemon(t, Opts{Workers: 1, PlanHook: hook.plan})
+	c.req("POST", "/v1/tenants", tinySpec("doomed"), http.StatusCreated, nil)
+
+	var j jobView
+	c.req("POST", "/v1/tenants/doomed/jobs", nil, http.StatusAccepted, &j)
+	<-hook.started
+	c.req("DELETE", "/v1/tenants/doomed", nil, http.StatusNoContent, nil)
+	c.req("GET", "/v1/tenants/doomed/jobs/"+j.ID, nil, http.StatusNotFound, nil)
+}

@@ -1,0 +1,165 @@
+package controld
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// artifactStore is one tenant's content-addressed plan-artifact shelf.
+// Artifacts are immutable byte strings keyed by their SHA-256 digest,
+// so identical plans dedupe for free and a digest in a promote request
+// names exactly one byte sequence. Retention is bounded: once the
+// shelf exceeds its cap, the oldest artifacts are garbage-collected —
+// except the promoted one, the last-known-good one (the previous
+// promote, the rollback target) and anything a promote currently has
+// staged, which are never collected regardless of age.
+type artifactStore struct {
+	mu      sync.Mutex
+	max     int
+	seq     int
+	entries map[string]*artifactEntry
+
+	promoted string
+	lastGood string
+	staged   map[string]int // in-flight promote refcounts
+}
+
+// artifactEntry is one stored artifact plus its display metadata.
+type artifactEntry struct {
+	Digest      string `json:"digest"`
+	Bytes       []byte `json:"-"`
+	Size        int    `json:"size"`
+	Fingerprint string `json:"fingerprint"`
+	Variant     string `json:"variant"`
+	PairCount   int    `json:"pairs"`
+	Source      string `json:"source"`
+	Seq         int    `json:"seq"`
+	Promoted    bool   `json:"promoted"`
+	LastGood    bool   `json:"last_good"`
+}
+
+func newArtifactStore(max int) *artifactStore {
+	return &artifactStore{
+		max:     max,
+		entries: make(map[string]*artifactEntry),
+		staged:  make(map[string]int),
+	}
+}
+
+func digestOf(raw []byte) string {
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// put stores raw under its content digest and runs retention GC.
+func (st *artifactStore) put(raw []byte, fingerprint uint64, variant string, pairs int, source string) string {
+	d := digestOf(raw)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.entries[d]; !ok {
+		st.seq++
+		st.entries[d] = &artifactEntry{
+			Digest:      d,
+			Bytes:       raw,
+			Size:        len(raw),
+			Fingerprint: fmt.Sprintf("%016x", fingerprint),
+			Variant:     variant,
+			PairCount:   pairs,
+			Source:      source,
+			Seq:         st.seq,
+		}
+	}
+	st.gcLocked()
+	return d
+}
+
+// get returns the stored bytes for a digest.
+func (st *artifactStore) get(digest string) ([]byte, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[digest]
+	if !ok {
+		return nil, false
+	}
+	return e.Bytes, true
+}
+
+// list returns the entries newest-first with the protection flags set.
+func (st *artifactStore) list() []artifactEntry {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]artifactEntry, 0, len(st.entries))
+	for _, e := range st.entries {
+		c := *e
+		c.Promoted = e.Digest == st.promoted
+		c.LastGood = e.Digest == st.lastGood
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq > out[j].Seq })
+	return out
+}
+
+// stage pins a digest against GC for the duration of a promote; the
+// returned release must be called exactly once.
+func (st *artifactStore) stage(digest string) (release func(), ok bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.entries[digest]; !ok {
+		return nil, false
+	}
+	st.staged[digest]++
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			st.mu.Lock()
+			defer st.mu.Unlock()
+			if st.staged[digest]--; st.staged[digest] <= 0 {
+				delete(st.staged, digest)
+			}
+		})
+	}, true
+}
+
+// setPromoted records a successful promote: the previous promoted
+// artifact becomes the last-known-good rollback target.
+func (st *artifactStore) setPromoted(digest string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if digest == st.promoted {
+		return
+	}
+	if st.promoted != "" {
+		st.lastGood = st.promoted
+	}
+	st.promoted = digest
+}
+
+// current returns the promoted and last-known-good digests.
+func (st *artifactStore) current() (promoted, lastGood string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.promoted, st.lastGood
+}
+
+// gcLocked evicts the oldest unprotected entries down to the cap.
+func (st *artifactStore) gcLocked() {
+	for len(st.entries) > st.max {
+		victim := ""
+		minSeq := 0
+		for d, e := range st.entries {
+			if d == st.promoted || d == st.lastGood || st.staged[d] > 0 {
+				continue
+			}
+			if victim == "" || e.Seq < minSeq {
+				victim, minSeq = d, e.Seq
+			}
+		}
+		if victim == "" {
+			return // everything left is protected
+		}
+		delete(st.entries, victim)
+	}
+}

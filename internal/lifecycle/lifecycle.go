@@ -87,6 +87,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"response"
 	"response/internal/analysis"
@@ -381,6 +382,15 @@ type Manager struct {
 	hist analysis.Replay
 	met  Metrics
 
+	// Concurrent-read snapshot of the counters and state, re-published
+	// at the end of every manager step on the driving goroutine.
+	// Metrics and State read it, so pollers (the controld daemon) can
+	// observe a running manager from any goroutine without touching the
+	// live event-loop fields.
+	snapMu    sync.Mutex
+	snapMet   Metrics
+	snapState State
+
 	// reusable scratch for the per-check deviation computation
 	live   *traffic.Matrix
 	series traffic.Series
@@ -413,7 +423,24 @@ func New(s *sim.Simulator, c *te.Controller, current *response.Plan, replan Repl
 	m.lastReplanAt = math.Inf(-1)
 	m.resultCh = make(chan replanOutcome, 1)
 	m.hist.IntervalSec = opts.CheckEvery
+	m.publish()
 	return m
+}
+
+// publish re-copies the live counters and state into the concurrent-
+// read snapshot. It runs at the end of every manager step, on the
+// goroutine driving the simulator — the only writer of the live fields
+// — so the snapshot is exact whenever the event loop is quiescent and
+// at most one step stale while it runs.
+func (m *Manager) publish() {
+	met := m.met
+	if m.state == StateDegraded {
+		met.DegradedSec += m.s.Now() - m.degradedSince
+	}
+	m.snapMu.Lock()
+	m.snapMet = met
+	m.snapState = m.state
+	m.snapMu.Unlock()
 }
 
 // Start captures the planned-demand baseline from the currently
@@ -441,18 +468,29 @@ func (m *Manager) Stop() {
 		m.cancel()
 		m.cancel = nil
 	}
+	m.publish()
 }
 
-// State returns the current lifecycle state.
-func (m *Manager) State() State { return m.state }
+// State returns the lifecycle state as of the manager's latest step.
+// Unlike the other Manager methods it is safe to call from any
+// goroutine while the simulator runs.
+func (m *Manager) State() State {
+	m.snapMu.Lock()
+	defer m.snapMu.Unlock()
+	return m.snapState
+}
 
-// Metrics returns a snapshot of the cumulative counters.
+// Metrics returns a copy of the cumulative counters as of the
+// manager's latest step (copy-on-read: the returned value never
+// aliases live state). Unlike the other Manager methods it is safe to
+// call from any goroutine while the simulator runs — pollers such as
+// the controld daemon read a running manager this way; while the event
+// loop is mid-step the snapshot may trail the live counters by at most
+// that one step.
 func (m *Manager) Metrics() Metrics {
-	met := m.met
-	if m.state == StateDegraded {
-		met.DegradedSec += m.s.Now() - m.degradedSince
-	}
-	return met
+	m.snapMu.Lock()
+	defer m.snapMu.Unlock()
+	return m.snapMet
 }
 
 // CurrentPlan returns the installed plan (the staged one as soon as a
@@ -465,6 +503,86 @@ func (m *Manager) CurrentPlan() *response.Plan { return m.current }
 // artifact a deployment would ship; a corrupted or rejected staging
 // never overwrites them.
 func (m *Manager) StagedArtifact() []byte { return m.artifact }
+
+// Policy is the hot-patchable subset of Opts: the deviation-trigger
+// thresholds, the replan deadline and the retry backoff. The controld
+// daemon's config-PATCH endpoint applies one to a running manager so a
+// tenant can tighten or relax its control loop without a restart (and
+// therefore without a traffic-disrupting re-registration).
+type Policy struct {
+	// Deviation, Spread and Hysteresis are the trigger thresholds
+	// (Opts fields of the same names).
+	Deviation  float64
+	Spread     float64
+	Hysteresis float64
+	// MinInterval paces deviation-triggered replans; ReplanDeadline is
+	// the per-replan compute budget (0 = unbounded).
+	MinInterval    float64
+	ReplanDeadline float64
+	// RetryBase and RetryMax bound the failed-cycle backoff.
+	RetryBase float64
+	RetryMax  float64
+	// DegradedAfter is the consecutive-failure count tripping the
+	// all-on fallback (negative disables degradation).
+	DegradedAfter int
+}
+
+// Validate reports the first reason p cannot be applied.
+func (p Policy) Validate() error {
+	switch {
+	case !(p.Deviation > 0 && p.Deviation <= 10):
+		return fmt.Errorf("lifecycle: deviation must be in (0, 10], got %g", p.Deviation)
+	case !(p.Spread > 0 && p.Spread <= 1):
+		return fmt.Errorf("lifecycle: spread must be in (0, 1], got %g", p.Spread)
+	case !(p.Hysteresis > 0 && p.Hysteresis <= 1):
+		return fmt.Errorf("lifecycle: hysteresis must be in (0, 1], got %g", p.Hysteresis)
+	case p.MinInterval < 0:
+		return fmt.Errorf("lifecycle: min interval must be >= 0, got %g", p.MinInterval)
+	case p.ReplanDeadline < 0:
+		return fmt.Errorf("lifecycle: replan deadline must be >= 0, got %g", p.ReplanDeadline)
+	case p.RetryBase <= 0:
+		return fmt.Errorf("lifecycle: retry base must be > 0, got %g", p.RetryBase)
+	case p.RetryMax < p.RetryBase:
+		return fmt.Errorf("lifecycle: retry max %g below retry base %g", p.RetryMax, p.RetryBase)
+	case p.DegradedAfter == 0:
+		return fmt.Errorf("lifecycle: degraded-after must be nonzero (negative disables)")
+	}
+	return nil
+}
+
+// Policy returns the currently effective policy values.
+func (m *Manager) Policy() Policy {
+	return Policy{
+		Deviation:      m.opts.Deviation,
+		Spread:         m.opts.Spread,
+		Hysteresis:     m.opts.Hysteresis,
+		MinInterval:    m.opts.MinInterval,
+		ReplanDeadline: m.opts.ReplanDeadline,
+		RetryBase:      m.opts.RetryBase,
+		RetryMax:       m.opts.RetryMax,
+		DegradedAfter:  m.opts.DegradedAfter,
+	}
+}
+
+// SetPolicy validates p and applies it to the running manager: the
+// next check, replan and retry use the new thresholds; nothing already
+// scheduled (an in-flight replan, a booked retry) is re-timed. Like
+// every Manager method except Metrics and State it must run on the
+// goroutine driving the simulator.
+func (m *Manager) SetPolicy(p Policy) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	m.opts.Deviation = p.Deviation
+	m.opts.Spread = p.Spread
+	m.opts.Hysteresis = p.Hysteresis
+	m.opts.MinInterval = p.MinInterval
+	m.opts.ReplanDeadline = p.ReplanDeadline
+	m.opts.RetryBase = p.RetryBase
+	m.opts.RetryMax = p.RetryMax
+	m.opts.DegradedAfter = p.DegradedAfter
+	return nil
+}
 
 // History returns the per-check record of the active plan's tables
 // fingerprint as an analysis.Replay, so Recomputations and RatePerHour
@@ -507,6 +625,7 @@ func (m *Manager) deviation(base, cur *traffic.Matrix) float64 {
 
 // check is one monitor tick.
 func (m *Manager) check() {
+	defer m.publish()
 	m.met.Checks++
 	m.buildLive()
 	dev := m.deviation(m.planned, m.live)
@@ -553,6 +672,7 @@ func (m *Manager) fire() {
 // launch starts one replan cycle (trigger or retry) from the current
 // live matrix.
 func (m *Manager) launch() {
+	defer m.publish()
 	m.armed = false
 	m.lastReplanAt = m.s.Now()
 	m.trigger = m.live.Clone()
@@ -610,6 +730,7 @@ func (m *Manager) stage(p *response.Plan, err error) {
 	if m.stopped {
 		return // late background result after Stop: discard
 	}
+	defer m.publish()
 	m.met.Replans++
 	m.inFlight = false
 	if m.state == StateReplanning {
@@ -708,6 +829,7 @@ func (m *Manager) scheduleRetry() {
 	}
 	m.retryPending = true
 	m.s.After(m.nextBackoff(), func() {
+		defer m.publish()
 		m.retryPending = false
 		if m.stopped || (m.state != StateIdle && m.state != StateDegraded) {
 			return
@@ -752,6 +874,7 @@ func (m *Manager) StageAndSwap(p *response.Plan) error {
 	m.buildLive()
 	m.trigger = m.live.Clone()
 	m.gateAndSwap(p)
+	m.publish()
 	return nil
 }
 
@@ -877,6 +1000,7 @@ func (m *Manager) flowRetired(old, new *sim.Flow) {
 	m.pendingRetire--
 	if m.pendingRetire == 0 && m.state == StateSwapping {
 		m.swapDone()
+		m.publish()
 	}
 }
 

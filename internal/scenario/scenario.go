@@ -593,6 +593,20 @@ func (r *Replay) flowSwapped(old, nf *sim.Flow) {
 // Config.StormLinks > 0); benchmarks use it to drive manual storms.
 func (r *Replay) StormLinks() []topo.LinkID { return r.stormOrder }
 
+// Flows returns the number of managed flows installed in the replay.
+func (r *Replay) Flows() int { return len(r.flows) }
+
+// InjectedFaults returns the control-plane faults injected so far (0
+// without a fault injector). Unlike Finish it does not close the
+// books, so a long-running driver — the controld status endpoint —
+// can report it mid-replay.
+func (r *Replay) InjectedFaults() int {
+	if r.inj == nil {
+		return 0
+	}
+	return r.inj.Counts().Faults()
+}
+
 // observeUtil folds the current settled worst arc utilization into
 // the running maximum.
 func (r *Replay) observeUtil() {

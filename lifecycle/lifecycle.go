@@ -37,6 +37,10 @@ type (
 	State = ilc.State
 	// Metrics are the manager's cumulative counters.
 	Metrics = ilc.Metrics
+	// Policy is the hot-patchable subset of Opts (trigger thresholds,
+	// replan deadline, retry backoff); apply one to a running Manager
+	// with SetPolicy — the controld daemon's config-PATCH path.
+	Policy = ilc.Policy
 	// ReplanFunc computes a candidate plan for a live demand matrix.
 	ReplanFunc = ilc.ReplanFunc
 )
