@@ -6,14 +6,17 @@
 // Usage:
 //
 //	response-analyze -fig 1a|1b|2a|2b|all [-days N] [-stride N] [-csv file]
-//	response-analyze diff [-topo spec] [-json] <planA> <planB>
+//	response-analyze diff [-topo spec] [-json] [-warm [-warmtol f]] <planA> <planB>
 //
 // The diff subcommand compares two plan-artifact files (the format
 // response.Plan.WriteTo emits and the controld daemon shelves) and
 // prints the structural delta: pair-table changes, the pinned-link
 // delta and the always-on power delta. -topo names the topology the
 // plans were computed for: a builtin ("geant", "abovenet", "genuity")
-// or a generator spec "gen:<family>:<size>:<seed>".
+// or a generator spec "gen:<family>:<size>:<seed>". With -warm the
+// second plan is additionally judged as a warm-started replan of the
+// first — the run fails unless it is fingerprint-identical or
+// power-equal within the tolerance with an exact always-on stage.
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 	"response"
 	"response/experiments"
 	"response/internal/topogen"
+	"response/internal/verify"
 	"response/topology"
 )
 
@@ -96,9 +100,12 @@ func runDiff(args []string) {
 	topoSpec := fs.String("topo", "geant",
 		`topology the plans were computed for: builtin name or "gen:<family>:<size>:<seed>"`)
 	asJSON := fs.Bool("json", false, "emit the diff as JSON instead of the table")
+	warm := fs.Bool("warm", false,
+		"judge <planB> as a warm-started replan of <planA>: report fingerprint identity or power-equality within -warmtol")
+	warmTol := fs.Float64("warmtol", 0, "warm-start power tolerance for -warm (0 = the default 5%)")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 	if fs.NArg() != 2 {
-		log.Fatalf("usage: response-analyze diff [-topo spec] [-json] <planA> <planB>")
+		log.Fatalf("usage: response-analyze diff [-topo spec] [-json] [-warm [-warmtol f]] <planA> <planB>")
 	}
 	g, err := resolveTopo(*topoSpec)
 	if err != nil {
@@ -116,9 +123,34 @@ func runDiff(args []string) {
 		if err := enc.Encode(d); err != nil {
 			log.Fatal(err)
 		}
+		if *warm {
+			printWarmVerdict(os.Stdout, g, a, b, *warmTol)
+		}
 		return
 	}
 	d.Print(os.Stdout)
+	if *warm {
+		printWarmVerdict(os.Stdout, g, a, b, *warmTol)
+	}
+}
+
+// printWarmVerdict applies the warm-start differential oracle: planB
+// passes as a warm replan of planA if it is fingerprint-identical or
+// power-equal within the tolerance with an exact always-on stage.
+func printWarmVerdict(w *os.File, g *topology.Topology, a, b *response.Plan, tol float64) {
+	rep, identical := verify.DiffWarmStart(g, a, b, tol)
+	switch {
+	case identical:
+		fmt.Fprintf(w, "warm-start: fingerprint-identical (%016x)\n", b.Fingerprint())
+	case rep.Ok():
+		fmt.Fprintf(w, "warm-start: power-equal within tolerance (always-on stage exact)\n")
+	default:
+		fmt.Fprintf(w, "warm-start: INCOMPATIBLE\n")
+		for _, v := range rep.Violations {
+			fmt.Fprintf(w, "  %s\n", v)
+		}
+		os.Exit(1)
+	}
 }
 
 // resolveTopo parses the -topo spec.

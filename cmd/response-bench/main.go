@@ -10,10 +10,17 @@
 // result written as JSON (default BENCH_gen.json). Any invariant
 // violation makes the run exit non-zero, so CI can gate on it.
 //
+// With -warm it runs the warm-start replan benchmark: for each
+// "family:size" of -warmspec it times a cold plan and a warm replan
+// seeded from it, printing the speedup. -warmgate N makes the run exit
+// non-zero if any warm replan exceeds N milliseconds — the CI
+// planner-scaling gate.
+//
 // Usage:
 //
 //	response-bench [-quick]
 //	response-bench -gen [-quick] [-genout BENCH_gen.json]
+//	response-bench -warm [-warmspec fattree:14] [-warmgate 2000]
 package main
 
 import (
@@ -31,10 +38,17 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller traces (2 days, coarser strides); with -gen, small sweep sizes")
 	gen := flag.Bool("gen", false, "run the generated-topology scale sweep instead of the figure suite")
 	genout := flag.String("genout", "BENCH_gen.json", "output path of the -gen sweep JSON")
+	warm := flag.Bool("warm", false, "run the warm-start replan benchmark instead of the figure suite")
+	warmspec := flag.String("warmspec", "fattree:8,fattree:14,waxman:50", "comma-separated family:size list for -warm")
+	warmgate := flag.Float64("warmgate", 0, "with -warm, exit non-zero if any warm replan exceeds this many ms (0 = no gate)")
 	flag.Parse()
 
 	if *gen {
 		runGenSweep(*quick, *genout)
+		return
+	}
+	if *warm {
+		runWarmBench(*warmspec, *warmgate)
 		return
 	}
 
@@ -138,5 +152,18 @@ func runGenSweep(quick bool, out string) {
 	fmt.Printf("\nwrote %s in %s\n", out, time.Since(start).Round(time.Millisecond))
 	if n := sweep.Violations(); n > 0 {
 		log.Fatalf("generated sweep found %d invariant violation(s)", n)
+	}
+}
+
+// runWarmBench executes the warm-start replan benchmark and applies
+// the optional latency gate.
+func runWarmBench(spec string, gateMs float64) {
+	start := time.Now()
+	bench, err := experiments.RunWarmBench(spec)
+	fail(err)
+	bench.Print(os.Stdout)
+	fmt.Printf("\ntotal runtime: %s\n", time.Since(start).Round(time.Millisecond))
+	if gateMs > 0 && bench.MaxWarmMs() > gateMs {
+		log.Fatalf("warm replan took %.1f ms, gate is %.0f ms", bench.MaxWarmMs(), gateMs)
 	}
 }

@@ -25,6 +25,24 @@
 // planning starts. Planning is deterministic: identical topology,
 // options and seed yield bit-identical tables regardless of GOMAXPROCS.
 //
+// # Warm-started replanning
+//
+// Replans need not start from scratch: WithWarmStart(prev) seeds every
+// subset-search stage from the corresponding stage of a previous plan
+// and re-proves only the delta — a criticality-ordered descent under a
+// power-regression gate (WithWarmTolerance, default 5%), falling back
+// to the cold search whenever the seed is unusable, so warm-starting
+// never changes what is plannable. With unchanged inputs the warm plan
+// is fingerprint-identical to the cold plan in the capacity-slack
+// regime and power-equal within the tolerance otherwise; on the k=14
+// fat-tree this turns a ~28 s cold plan into a ~1.7 s replan. A prev
+// from the wrong topology is silently ignored (or rejected with
+// ErrWarmStartMismatch under WithWarmStartStrict). The lifecycle
+// manager warm-starts deviation-triggered replans from the promoted
+// plan automatically (lifecycle.WarmHint; disable via Opts.NoWarmStart
+// or the policy knob), and controld plan jobs accept a warm_from
+// artifact digest. See DESIGN.md §10.
+//
 // # Plan artifacts
 //
 // Plans are artifacts, not in-memory side effects: Plan.WriteTo

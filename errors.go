@@ -33,3 +33,10 @@ var (
 	// against.
 	ErrTopologyMismatch = errors.New("response: plan artifact topology mismatch")
 )
+
+// ErrWarmStartMismatch reports that a plan supplied with
+// WithWarmStartStrict was computed for a different topology (by
+// fingerprint) than the one being planned, so it cannot seed the
+// search. The lenient WithWarmStart silently plans cold instead.
+// Test with errors.Is.
+var ErrWarmStartMismatch = errors.New("response: warm-start plan topology mismatch")

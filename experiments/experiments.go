@@ -51,6 +51,11 @@ type (
 	GenPoint = iexp.GenPoint
 	// GenSweepOpts parameterizes RunGeneratedSweep.
 	GenSweepOpts = iexp.GenSweepOpts
+	// WarmBench is the warm-start replan benchmark (cold plan vs warm
+	// replan per generated instance).
+	WarmBench = iexp.WarmBench
+	// WarmPoint is one instance of a WarmBench.
+	WarmPoint = iexp.WarmPoint
 	// Point is one (x, y) sample of a result curve.
 	Point = stats.Point
 )
@@ -73,6 +78,14 @@ func RunOnline(name string, flows int, seed int64, durationSec float64, fullAllo
 // cmd/response-bench -gen writes the result as BENCH_gen.json.
 func RunGeneratedSweep(opts GenSweepOpts) (GenSweep, error) {
 	return iexp.RunGeneratedSweep(opts)
+}
+
+// RunWarmBench times cold plans against warm replans seeded from them
+// for each "family:size" of a comma-separated spec (e.g.
+// "fattree:14,waxman:50"). cmd/response-bench -warm drives it; CI
+// gates on WarmBench.MaxWarmMs.
+func RunWarmBench(spec string) (WarmBench, error) {
+	return iexp.RunWarmBench(spec)
 }
 
 // RunFig1a regenerates Figure 1a over a trace of the given length.

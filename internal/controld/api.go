@@ -250,6 +250,9 @@ type PolicyPatch struct {
 	RetryBaseSec      *float64 `json:"retry_base_sec,omitempty"`
 	RetryMaxSec       *float64 `json:"retry_max_sec,omitempty"`
 	DegradedAfter     *int     `json:"degraded_after,omitempty"`
+	// NoWarmStart disables warm-starting deviation-triggered replans
+	// from the promoted plan.
+	NoWarmStart *bool `json:"no_warm_start,omitempty"`
 	// SimRate repaces the tenant loop (0 pauses automatic time).
 	SimRate *float64 `json:"sim_rate,omitempty"`
 }
@@ -291,6 +294,9 @@ func (s *Server) handleConfigPatch(w http.ResponseWriter, r *http.Request, t *te
 		if patch.DegradedAfter != nil {
 			p.DegradedAfter = *patch.DegradedAfter
 		}
+		if patch.NoWarmStart != nil {
+			p.NoWarmStart = *patch.NoWarmStart
+		}
 		// SetPolicy validates the merged policy and applies it whole, so
 		// a rejected patch leaves every threshold untouched.
 		if applyErr = t.rep.Mgr.SetPolicy(p); applyErr == nil {
@@ -315,8 +321,23 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request, t *tenant
 	writeJSON(w, http.StatusOK, s.sched.list(t.name))
 }
 
+// jobSubmitBody is the optional POST …/jobs body.
+type jobSubmitBody struct {
+	// WarmFrom names a shelved artifact (by digest) to warm-start the
+	// plan from. The digest is resolved when the job runs; an unknown
+	// digest or a topology mismatch fails the job.
+	WarmFrom string `json:"warm_from,omitempty"`
+}
+
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request, t *tenant) {
-	j, err := s.sched.submit(t.name)
+	var body jobSubmitBody
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil && err != io.EOF {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	j, err := s.sched.submit(t.name, body.WarmFrom)
 	if err != nil {
 		writeErr(w, http.StatusServiceUnavailable, "%v", err)
 		return

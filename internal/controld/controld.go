@@ -28,6 +28,7 @@
 package controld
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"net/http"
@@ -143,11 +144,26 @@ func (s *Server) runPlanJob(ctx context.Context, j *Job) (string, error) {
 	if s.opts.PlanHook != nil {
 		plan, err = s.opts.PlanHook(ctx, j.Tenant)
 	} else {
+		opts := []response.Option{}
+		if j.WarmFrom != "" {
+			// Resolve the warm-start digest strictly: a job that names a
+			// seed gets that seed or fails, it never silently plans cold.
+			raw, ok := t.store.get(j.WarmFrom)
+			if !ok {
+				return "", fmt.Errorf("controld: warm-start artifact %q not found", j.WarmFrom)
+			}
+			prev, rerr := response.ReadPlanFrom(bytes.NewReader(raw), t.topoGraph)
+			if rerr != nil {
+				return "", fmt.Errorf("controld: warm-start artifact %q: %w", j.WarmFrom, rerr)
+			}
+			opts = append(opts, response.WithWarmStartStrict(prev))
+		}
 		var live *traffic.Matrix
 		if derr := t.do(func() { live = t.liveMatrixLocked() }); derr != nil {
 			return "", derr
 		}
-		plan, err = t.planner.Plan(ctx, t.topoGraph, response.WithLowMatrix(live))
+		opts = append(opts, response.WithLowMatrix(live))
+		plan, err = t.planner.Plan(ctx, t.topoGraph, opts...)
 	}
 	if err != nil {
 		return "", err

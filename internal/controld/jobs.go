@@ -30,6 +30,12 @@ const (
 type Job struct {
 	ID     string `json:"id"`
 	Tenant string `json:"tenant"`
+	// WarmFrom is the digest of a shelved artifact the plan should
+	// warm-start from ("" plans cold). Set at submission, immutable
+	// after; resolved against the tenant's artifact store when the job
+	// runs, strictly — a missing digest or a topology mismatch fails
+	// the job rather than silently planning cold.
+	WarmFrom string `json:"warm_from,omitempty"`
 
 	mu     sync.Mutex
 	state  JobState
@@ -46,12 +52,14 @@ type jobView struct {
 	State    JobState `json:"state"`
 	Error    string   `json:"error,omitempty"`
 	Artifact string   `json:"artifact,omitempty"`
+	WarmFrom string   `json:"warm_from,omitempty"`
 }
 
 func (j *Job) view() jobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return jobView{ID: j.ID, Tenant: j.Tenant, State: j.state, Error: j.errMsg, Artifact: j.digest}
+	return jobView{ID: j.ID, Tenant: j.Tenant, State: j.state, Error: j.errMsg,
+		Artifact: j.digest, WarmFrom: j.WarmFrom}
 }
 
 // State returns the job's current state.
@@ -119,8 +127,9 @@ func newScheduler(workers int, run func(ctx context.Context, j *Job) (string, er
 	return s
 }
 
-// submit enqueues a job for a tenant.
-func (s *scheduler) submit(tenant string) (*Job, error) {
+// submit enqueues a job for a tenant; warmFrom optionally names the
+// artifact digest to warm-start from.
+func (s *scheduler) submit(tenant, warmFrom string) (*Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -128,10 +137,11 @@ func (s *scheduler) submit(tenant string) (*Job, error) {
 	}
 	s.seq++
 	j := &Job{
-		ID:     fmt.Sprintf("job-%s-%d", tenant, s.seq),
-		Tenant: tenant,
-		state:  JobQueued,
-		done:   make(chan struct{}),
+		ID:       fmt.Sprintf("job-%s-%d", tenant, s.seq),
+		Tenant:   tenant,
+		WarmFrom: warmFrom,
+		state:    JobQueued,
+		done:     make(chan struct{}),
 	}
 	if len(s.queues[tenant]) == 0 {
 		s.ring = append(s.ring, tenant)

@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -248,4 +249,44 @@ func TestJobCanceledByTenantDeletion(t *testing.T) {
 	<-hook.started
 	c.req("DELETE", "/v1/tenants/doomed", nil, http.StatusNoContent, nil)
 	c.req("GET", "/v1/tenants/doomed/jobs/"+j.ID, nil, http.StatusNotFound, nil)
+}
+
+// TestJobWarmFrom: a job naming a shelved artifact warm-starts from it
+// (surfaced in the job view), and a bogus digest fails the job instead
+// of silently planning cold.
+func TestJobWarmFrom(t *testing.T) {
+	_, c := newTestDaemon(t, Opts{Workers: 1})
+	c.req("POST", "/v1/tenants", tinySpec("solo"), http.StatusCreated, nil)
+
+	var j1 jobView
+	c.req("POST", "/v1/tenants/solo/jobs", nil, http.StatusAccepted, &j1)
+	cold := c.waitJob("solo", j1.ID)
+	if cold.State != JobDone || cold.Artifact == "" {
+		t.Fatalf("cold job ended as %+v, want done with an artifact", cold)
+	}
+
+	var j2 jobView
+	c.req("POST", "/v1/tenants/solo/jobs", jobSubmitBody{WarmFrom: cold.Artifact},
+		http.StatusAccepted, &j2)
+	if j2.WarmFrom != cold.Artifact {
+		t.Fatalf("submitted view WarmFrom = %q, want %q", j2.WarmFrom, cold.Artifact)
+	}
+	warm := c.waitJob("solo", j2.ID)
+	if warm.State != JobDone || warm.Artifact == "" {
+		t.Fatalf("warm job ended as %+v, want done with an artifact", warm)
+	}
+	if warm.WarmFrom != cold.Artifact {
+		t.Errorf("terminal view WarmFrom = %q, want %q", warm.WarmFrom, cold.Artifact)
+	}
+
+	var j3 jobView
+	c.req("POST", "/v1/tenants/solo/jobs", jobSubmitBody{WarmFrom: "sha256:nope"},
+		http.StatusAccepted, &j3)
+	bad := c.waitJob("solo", j3.ID)
+	if bad.State != JobFailed {
+		t.Fatalf("bogus warm_from ended as %+v, want failed", bad)
+	}
+	if !strings.Contains(bad.Error, "not found") {
+		t.Errorf("failure message %q does not name the missing artifact", bad.Error)
+	}
 }

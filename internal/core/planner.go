@@ -86,6 +86,11 @@ type PlanOpts struct {
 	// deterministic orderings).
 	RandomRestarts int
 	Seed           int64
+	// Warm, when non-nil, seeds each subset-search stage from the
+	// corresponding stage of a previous plan (see WarmStart); stages
+	// whose seed misses its tolerance fall back to the cold search, so
+	// warm planning never changes feasibility, only speed.
+	Warm *WarmStart
 	// Trace, when non-nil, receives human-readable planner tracing
 	// (per-round exclusion and sizing decisions).
 	Trace io.Writer
@@ -235,6 +240,7 @@ func PlanContext(ctx context.Context, t *topo.Topology, opts PlanOpts) (*Tables,
 		Seed:           opts.Seed,
 		Route:          mcf.RouteOpts{MaxUtil: opts.MaxUtil},
 		Check:          check,
+		Warm:           opts.Warm.stage(-1),
 	})
 	if err != nil {
 		return nil, wrapPlanErr("core: always-on computation", err)
@@ -394,7 +400,7 @@ func planOnDemand(ctx context.Context, t *topo.Topology, tables *Tables, opts Pl
 		var err error
 		switch opts.Mode {
 		case ModeStress:
-			paths, err = onDemandStress(ctx, t, tables, opts, shape, excludedLinks)
+			paths, err = onDemandStress(ctx, t, tables, opts, shape, excludedLinks, round)
 		case ModeSolver:
 			paths, err = onDemandSolver(ctx, t, tables, opts, excludedLinks, round)
 		case ModeOSPF:
@@ -424,7 +430,7 @@ func planOnDemand(ctx context.Context, t *topo.Topology, tables *Tables, opts Pl
 // paper's sensitivity result: 20 % exclusion suffices for always-on +
 // on-demand to accommodate peak demands).
 func onDemandStress(ctx context.Context, t *topo.Topology, tables *Tables, opts PlanOpts,
-	shape *traffic.Matrix, excluded []bool) (map[[2]topo.NodeID]topo.Path, error) {
+	shape *traffic.Matrix, excluded []bool, round int) (map[[2]topo.NodeID]topo.Path, error) {
 
 	avoid := func(a topo.Arc) bool { return excluded[a.Link] }
 	// Shape the sizing demand with the capacity-based gravity estimate
@@ -455,6 +461,7 @@ func onDemandStress(ctx context.Context, t *topo.Topology, tables *Tables, opts 
 		Seed:           opts.Seed + 1,
 		KeepOn:         tables.AlwaysOnSet,
 		Route:          mcf.RouteOpts{MaxUtil: opts.MaxUtil, Avoid: avoid},
+		Warm:           opts.Warm.stage(round),
 	})
 	if err != nil {
 		if ctx.Err() != nil {
@@ -490,6 +497,7 @@ func onDemandSolver(ctx context.Context, t *topo.Topology, tables *Tables, opts 
 		Seed:           opts.Seed + int64(round)*13,
 		KeepOn:         tables.AlwaysOnSet,
 		Route:          mcf.RouteOpts{MaxUtil: opts.MaxUtil, Avoid: avoid},
+		Warm:           opts.Warm.stage(round),
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"response"
+	"response/internal/topogen"
+)
+
+// WarmPoint is one instance of the warm-start benchmark: the wall-clock
+// cost of planning an instance cold versus replanning it warm-started
+// from its own cold plan with unchanged inputs — the lifecycle's
+// recomputation-confirms-the-tables common case.
+type WarmPoint struct {
+	Family string `json:"family"`
+	Size   int    `json:"size"`
+	Pairs  int    `json:"pairs"`
+
+	ColdMs float64 `json:"cold_ms"`
+	WarmMs float64 `json:"warm_ms"`
+	// Identical reports the warm plan reproduced the cold fingerprint
+	// bit-for-bit (guaranteed in the capacity-slack regime).
+	Identical bool `json:"identical"`
+}
+
+// WarmBench is the result of RunWarmBench, emitted by
+// cmd/response-bench -warm.
+type WarmBench struct {
+	Points []WarmPoint `json:"points"`
+}
+
+// MaxWarmMs returns the slowest warm replan of the bench — the number
+// CI gates on.
+func (b WarmBench) MaxWarmMs() float64 {
+	var worst float64
+	for _, p := range b.Points {
+		if p.WarmMs > worst {
+			worst = p.WarmMs
+		}
+	}
+	return worst
+}
+
+// Print writes the bench as a table.
+func (b WarmBench) Print(w io.Writer) {
+	fmt.Fprintf(w, "Warm-start replan benchmark (%d instances)\n", len(b.Points))
+	fmt.Fprintf(w, "  %-10s %5s %6s %10s %10s %8s %6s\n",
+		"family", "size", "pairs", "cold ms", "warm ms", "speedup", "ident")
+	for _, p := range b.Points {
+		speedup := 0.0
+		if p.WarmMs > 0 {
+			speedup = p.ColdMs / p.WarmMs
+		}
+		fmt.Fprintf(w, "  %-10s %5d %6d %10.1f %10.1f %7.1fx %6v\n",
+			p.Family, p.Size, p.Pairs, p.ColdMs, p.WarmMs, speedup, p.Identical)
+	}
+}
+
+// parseWarmSpecs parses a comma-separated "family:size[,family:size…]"
+// benchmark spec ("fattree:14,waxman:50").
+func parseWarmSpecs(spec string) ([]topogen.Config, error) {
+	var out []topogen.Config
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		fam, sz, ok := strings.Cut(item, ":")
+		if !ok {
+			return nil, fmt.Errorf("warm spec %q: want family:size", item)
+		}
+		n, err := strconv.Atoi(sz)
+		if err != nil {
+			return nil, fmt.Errorf("warm spec %q: %v", item, err)
+		}
+		out = append(out, topogen.Config{
+			Family: topogen.Family(fam), Size: n, Seed: 1,
+			PeakUtil: 0.5, MaxEndpoints: 20,
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("warm spec %q selects no instances", spec)
+	}
+	return out, nil
+}
+
+// RunWarmBench times, for each instance of a "family:size[,…]" spec, a
+// cold plan and a warm replan seeded from it (same inputs). The
+// instances keep the scale sweep's historical 20-endpoint clamp so the
+// timings are comparable across releases and the CI threshold stays
+// meaningful.
+func RunWarmBench(spec string) (WarmBench, error) {
+	configs, err := parseWarmSpecs(spec)
+	if err != nil {
+		return WarmBench{}, err
+	}
+	var bench WarmBench
+	for _, cfg := range configs {
+		inst, err := topogen.Generate(cfg)
+		if err != nil {
+			return bench, fmt.Errorf("warmbench %s-%d: %w", cfg.Family, cfg.Size, err)
+		}
+		planner := response.NewPlanner(
+			response.WithEndpoints(inst.Endpoints),
+			response.WithRestarts(0),
+			response.WithSeed(cfg.Seed),
+		)
+		start := time.Now()
+		cold, err := planner.Plan(context.Background(), inst.Topo)
+		if err != nil {
+			return bench, fmt.Errorf("warmbench %s-%d cold: %w", cfg.Family, cfg.Size, err)
+		}
+		coldMs := float64(time.Since(start).Microseconds()) / 1000
+		start = time.Now()
+		warm, err := planner.Plan(context.Background(), inst.Topo,
+			response.WithWarmStartStrict(cold))
+		if err != nil {
+			return bench, fmt.Errorf("warmbench %s-%d warm: %w", cfg.Family, cfg.Size, err)
+		}
+		warmMs := float64(time.Since(start).Microseconds()) / 1000
+		bench.Points = append(bench.Points, WarmPoint{
+			Family: string(cfg.Family), Size: cfg.Size, Pairs: len(cold.Pairs()),
+			ColdMs: coldMs, WarmMs: warmMs,
+			Identical: warm.Fingerprint() == cold.Fingerprint(),
+		})
+	}
+	return bench, nil
+}

@@ -159,6 +159,26 @@ func ReplanBudget(ctx context.Context) (float64, bool) {
 	return v, ok
 }
 
+// warmHintKey carries the manager's promoted plan through the replan
+// context, so a ReplanFunc can warm-start the subset search from it
+// (response.WithWarmStart) instead of planning from scratch. It rides
+// the context for the same reason ReplanBudget does: the ReplanFunc
+// signature is fixed, and fault injectors wrap it transparently.
+type warmHintKey struct{}
+
+func withWarmHint(ctx context.Context, p *response.Plan) context.Context {
+	return context.WithValue(ctx, warmHintKey{}, p)
+}
+
+// WarmHint returns the warm-start seed the manager attached to a
+// replan context — the promoted (current) plan at launch time — if
+// any. Managers attach it unless Opts.NoWarmStart (or the policy
+// knob) disables warm-starting.
+func WarmHint(ctx context.Context) (*response.Plan, bool) {
+	p, ok := ctx.Value(warmHintKey{}).(*response.Plan)
+	return p, ok
+}
+
 // panicError wraps a recovered ReplanFunc panic.
 type panicError struct{ v any }
 
@@ -231,6 +251,10 @@ type Opts struct {
 	MaxUtil float64
 	// NoPowerGate disables the strictly-worse-in-power rejection.
 	NoPowerGate bool
+	// NoWarmStart stops the manager from attaching the promoted plan
+	// to replan contexts as a warm-start seed (see WarmHint). Replans
+	// then always run cold, the pre-warm-start behavior.
+	NoWarmStart bool
 	// ArtifactFilter, when non-nil, transforms the serialized plan
 	// artifact between the staging write and the gate's re-read — the
 	// fault-injection hook (internal/faultinject corrupts or truncates
@@ -525,6 +549,9 @@ type Policy struct {
 	// DegradedAfter is the consecutive-failure count tripping the
 	// all-on fallback (negative disables degradation).
 	DegradedAfter int
+	// NoWarmStart disables warm-starting replans from the promoted
+	// plan (Opts field of the same name).
+	NoWarmStart bool
 }
 
 // Validate reports the first reason p cannot be applied.
@@ -561,6 +588,7 @@ func (m *Manager) Policy() Policy {
 		RetryBase:      m.opts.RetryBase,
 		RetryMax:       m.opts.RetryMax,
 		DegradedAfter:  m.opts.DegradedAfter,
+		NoWarmStart:    m.opts.NoWarmStart,
 	}
 }
 
@@ -581,6 +609,7 @@ func (m *Manager) SetPolicy(p Policy) error {
 	m.opts.RetryBase = p.RetryBase
 	m.opts.RetryMax = p.RetryMax
 	m.opts.DegradedAfter = p.DegradedAfter
+	m.opts.NoWarmStart = p.NoWarmStart
 	return nil
 }
 
@@ -682,6 +711,9 @@ func (m *Manager) launch() {
 	m.gen++
 	if m.opts.Background {
 		ctx, cancel := context.WithCancel(context.Background())
+		if !m.opts.NoWarmStart && m.current != nil {
+			ctx = withWarmHint(ctx, m.current)
+		}
 		if m.opts.ReplanDeadline > 0 {
 			ctx = withReplanBudget(ctx, m.opts.ReplanDeadline)
 			gen := m.gen
@@ -705,6 +737,9 @@ func (m *Manager) launch() {
 	// Inline: compute now (the snapshot is the demand at trigger
 	// time), stage after the modeled background latency.
 	ctx := context.Background()
+	if !m.opts.NoWarmStart && m.current != nil {
+		ctx = withWarmHint(ctx, m.current)
+	}
 	if m.opts.ReplanDeadline > 0 {
 		ctx = withReplanBudget(ctx, m.opts.ReplanDeadline)
 	}

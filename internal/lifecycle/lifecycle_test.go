@@ -508,3 +508,88 @@ func TestHistoryReadsWithFig1bMachinery(t *testing.T) {
 		t.Errorf("rate-per-hour total = %v, want 1", total)
 	}
 }
+
+// TestWarmHintReachesReplanAndConverges: the manager attaches the
+// promoted plan to the replan context; a warm-started replan after a
+// link failure plus demand drift must converge to the same plan a cold
+// replan computes from the same live matrix (GÉANT stays in the
+// capacity-slack regime, where warm-from-seed is exact).
+func TestWarmHintReachesReplanAndConverges(t *testing.T) {
+	r := newRig(t, 1, 1, 0.3)
+	var hinted *response.Plan
+	var captured *traffic.Matrix
+	replan := func(ctx context.Context, live *traffic.Matrix) (*response.Plan, error) {
+		prev, ok := WarmHint(ctx)
+		if !ok {
+			t.Error("replan context carries no warm hint")
+			return r.planner.Plan(ctx, r.g, response.WithLowMatrix(live))
+		}
+		hinted = prev
+		captured = live.Clone()
+		return r.planner.Plan(ctx, r.g,
+			response.WithLowMatrix(live), response.WithWarmStartStrict(prev))
+	}
+	m := New(r.s, r.c, r.plan, replan, Opts{
+		CheckEvery: 100, MinInterval: 100, ReplanLatency: 10,
+		NoPowerGate: true,
+	})
+	m.Start()
+	r.s.Run(250)
+	r.s.FailLink(0)
+	r.scaleFirst(0.5, 2)
+	r.s.Run(600)
+	if met := m.Metrics(); met.Replans != 1 {
+		t.Fatalf("replans = %d, want 1", met.Replans)
+	}
+	if hinted != r.plan {
+		t.Errorf("warm hint is not the promoted plan")
+	}
+	cold, err := r.planner.Plan(context.Background(), r.g, response.WithLowMatrix(captured))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.CurrentPlan().Fingerprint(), cold.Fingerprint(); got != want {
+		t.Errorf("warm replan fingerprint %016x != cold %016x", got, want)
+	}
+}
+
+// TestNoWarmStartSuppressesHint: the Opts/Policy knob removes the hint
+// from replan contexts, and SetPolicy can flip it at runtime.
+func TestNoWarmStartSuppressesHint(t *testing.T) {
+	r := newRig(t, 1, 1, 0.3)
+	sawHint := false
+	replan := func(ctx context.Context, live *traffic.Matrix) (*response.Plan, error) {
+		_, sawHint = WarmHint(ctx)
+		return r.plan, nil
+	}
+	m := New(r.s, r.c, r.plan, replan, Opts{
+		CheckEvery: 100, MinInterval: 100, ReplanLatency: 10,
+		NoWarmStart: true,
+	})
+	m.Start()
+	r.s.Run(250)
+	r.scaleFirst(0.5, 2)
+	r.s.Run(600)
+	if m.Metrics().Replans != 1 {
+		t.Fatalf("replans = %d, want 1", m.Metrics().Replans)
+	}
+	if sawHint {
+		t.Error("NoWarmStart manager still attached a warm hint")
+	}
+	if p := m.Policy(); !p.NoWarmStart {
+		t.Error("Policy() does not reflect NoWarmStart")
+	}
+	pol := m.Policy()
+	pol.NoWarmStart = false
+	if err := m.SetPolicy(pol); err != nil {
+		t.Fatal(err)
+	}
+	r.scaleFirst(0.5, 4)
+	r.s.Run(1200)
+	if m.Metrics().Replans < 2 {
+		t.Fatalf("replans = %d, want >= 2 after repatched policy", m.Metrics().Replans)
+	}
+	if !sawHint {
+		t.Error("re-enabled warm-start did not attach a hint")
+	}
+}

@@ -3,7 +3,6 @@ package mcf
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
@@ -83,9 +82,13 @@ func GreedyMinSubset(t *topo.Topology, demands []traffic.Demand, m power.Model,
 func greedyMinSubset(ctx context.Context, t *topo.Topology, sorted []traffic.Demand, m power.Model,
 	opts GreedyOpts, ws *spf.Workspace, baseline *Routing) (*topo.ActiveSet, *Routing, error) {
 
-	active := topo.AllOn(t)
 	ro := opts.Route
 	ro.defaults()
+	s := &subsetSearch{
+		t: t, sorted: sorted, m: m, ro: ro,
+		keepOn: opts.KeepOn, check: opts.Check, fullReroute: opts.FullReroute,
+	}
+	active := topo.AllOn(t)
 	ro.Active = active
 	var routing *Routing
 	if baseline != nil {
@@ -102,124 +105,9 @@ func greedyMinSubset(ctx context.Context, t *topo.Topology, sorted []traffic.Dem
 			return nil, nil, fmt.Errorf("mcf: baseline routing rejected: %w", err)
 		}
 	}
-
-	// Candidate elements: routers then links, in the chosen order.
-	type cand struct {
-		isRouter bool
-		router   topo.NodeID
-		link     topo.LinkID
-		watts    float64
-		degree   int
-	}
-	var cands []cand
-	for _, n := range t.Nodes() {
-		if n.Kind == topo.KindHost {
-			continue
-		}
-		if opts.KeepOn != nil && opts.KeepOn.Router[n.ID] {
-			continue
-		}
-		w := m.ChassisWatts(n)
-		for _, aid := range t.Out(n.ID) {
-			w += m.PortWatts(n, t.Arc(aid))
-		}
-		cands = append(cands, cand{isRouter: true, router: n.ID, watts: w, degree: t.Degree(n.ID)})
-	}
-	for _, l := range t.Links() {
-		if opts.KeepOn != nil && opts.KeepOn.Link[l.ID] {
-			continue
-		}
-		w := m.PortWatts(t.Node(l.A), t.Arc(l.AB)) +
-			m.PortWatts(t.Node(l.B), t.Arc(l.BA)) + 2*m.AmpWatts(l)
-		cands = append(cands, cand{isRouter: false, link: l.ID, watts: w})
-	}
-	switch opts.Order {
-	case PowerDesc:
-		sort.SliceStable(cands, func(i, j int) bool { return cands[i].watts > cands[j].watts })
-	case PowerAsc:
-		sort.SliceStable(cands, func(i, j int) bool { return cands[i].watts < cands[j].watts })
-	case DegreeAsc:
-		sort.SliceStable(cands, func(i, j int) bool {
-			if cands[i].isRouter != cands[j].isRouter {
-				return cands[i].isRouter // routers first
-			}
-			return cands[i].degree < cands[j].degree
-		})
-	case Random:
-		rng := rand.New(rand.NewSource(opts.Seed))
-		rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
-	}
-
-	// Delta-rerouting is exact — provably the same accept/reject
-	// verdicts as the from-scratch reference — only in the
-	// capacity-slack regime, where feasibility reduces to connectivity
-	// (see capacitySlack). Outside it (and whenever Check must vet the
-	// exact reference routing) every trial runs the full solve.
-	incremental := !opts.FullReroute && opts.Check == nil && capacitySlack(t, sorted, ro.MaxUtil)
-	var delta *deltaRouter
-	if incremental {
-		delta = newDeltaRouter(t, sorted, routing)
-	}
-	// fresh tracks whether routing equals the from-scratch solve on the
-	// current active set; when a delta-accept makes it stale, the final
-	// routing is recomputed below to match the reference output.
-	fresh := true
-
-	for _, c := range cands {
-		if err := ctx.Err(); err != nil {
-			return nil, nil, err
-		}
-		trial := active.Clone()
-		if c.isRouter {
-			if !trial.Router[c.router] {
-				continue
-			}
-			trial.Router[c.router] = false
-		} else {
-			if !trial.Link[c.link] {
-				continue
-			}
-			trial.Link[c.link] = false
-		}
-		trial.EnforceInvariants(t)
-		if violatesKeepOn(trial, opts.KeepOn) {
-			continue
-		}
-		ro.Active = trial
-		if incremental {
-			if delta.try(t, active, trial, ro, ws) {
-				active = trial
-				fresh = false
-			}
-			continue
-		}
-		r, err := routeDemandsSorted(t, sorted, ro, ws)
-		if err != nil {
-			continue // must stay on
-		}
-		if opts.Check != nil && opts.Check(r) != nil {
-			continue // violates the caller's constraint (e.g. delay bound)
-		}
-		active = trial
-		routing = r
-	}
-	if incremental {
-		routing = delta.routing
-	}
-	if !fresh {
-		// Re-solve from scratch on the final active set so the returned
-		// routing is byte-identical to the reference implementation's
-		// (which rerouted everything at its last accepted switch-off).
-		ro.Active = active
-		if r, err := routeDemandsSorted(t, sorted, ro, ws); err == nil {
-			routing = r
-		}
-	}
-	// Drop elements the final routing does not touch (constraint 3
-	// tightening): an on element carrying nothing can sleep unless
-	// pinned.
-	trimIdle(t, active, routing, opts.KeepOn)
-	return active, routing, nil
+	cands := s.candidates()
+	orderCands(cands, opts.Order, opts.Seed)
+	return s.descend(ctx, active, cands, ws, routing, true)
 }
 
 // capacitySlack reports whether no arc can ever hit its capacity cap
@@ -451,6 +339,17 @@ type OptimalOpts struct {
 	Check func(*Routing) error
 	// FullReroute is forwarded to every greedy run (see GreedyOpts).
 	FullReroute bool
+	// Warm, when non-nil, seeds the search from a previous result: a
+	// single descent starts from the warm element set (repaired to
+	// feasibility if needed) with candidates tried in ascending
+	// energy-criticality order and hopeless bridges pruned. When the
+	// descended result lands within Warm.Tolerance of the seed's power
+	// the restart pool is skipped entirely — the early termination that
+	// makes replans incremental. A seed that cannot be repaired, fails
+	// Check, or misses the tolerance falls back to the cold
+	// multi-restart search below, so Warm never changes what is
+	// achievable, only how fast it is reached.
+	Warm *WarmStart
 }
 
 // OptimalSubset approximates the paper's CPLEX-computed minimum network
@@ -479,6 +378,15 @@ func OptimalSubsetContext(ctx context.Context, t *topo.Topology, demands []traff
 
 	if opts.RandomRestarts == 0 {
 		opts.RandomRestarts = 4
+	}
+	if opts.Warm != nil && opts.Warm.Active != nil {
+		a, r, ok, err := warmSubset(ctx, t, sortDemands(demands), m, opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("mcf: optimal subset: %w", err)
+		}
+		if ok {
+			return a, r, nil
+		}
 	}
 	base := GreedyOpts{KeepOn: opts.KeepOn, Route: opts.Route, Check: opts.Check,
 		FullReroute: opts.FullReroute}

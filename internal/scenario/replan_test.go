@@ -13,8 +13,8 @@ import (
 // change here means the closed loop — deviation trigger, background
 // replan, gating, table hot-swap — changed behavior.
 const (
-	replanFingerprintSeed1 = 0x9b8efadbc0fc5db9
-	replanFingerprintSeed2 = 0xcc7856f78e59c95b
+	replanFingerprintSeed1 = 0xdef13e8d3ba8dd0d
+	replanFingerprintSeed2 = 0xa2a923db1746e3de
 )
 
 var replanSmall = Config{Flows: 500, Duration: 6 * 3600}

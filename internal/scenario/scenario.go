@@ -529,12 +529,18 @@ func NewDiurnal(g *topo.Topology, endpoints []topo.NodeID, cfg Config) (*Replay,
 		// ε-demand as d_low, so drifted traffic reshapes the always-on
 		// assignment and a genuinely different plan can stage.
 		replan := func(ctx context.Context, live *traffic.Matrix) (*response.Plan, error) {
-			return planner.Plan(ctx, g, response.WithLowMatrix(live))
+			opts := []response.Option{response.WithLowMatrix(live)}
+			if prev, ok := lifecycle.WarmHint(ctx); ok {
+				opts = append(opts, response.WithWarmStart(prev))
+			}
+			return planner.Plan(ctx, g, opts...)
 		}
 		if cfg.ObliviousReplan {
 			// Demand-oblivious: recompute for the plan-time demand, so
 			// every successful cycle fingerprint-matches the installed
-			// plan (an Unchanged no-op, never a swap).
+			// plan (an Unchanged no-op, never a swap). Deliberately cold:
+			// a warm-started plan is only power-equal outside the slack
+			// regime, which would turn the guaranteed no-op into a swap.
 			replan = func(ctx context.Context, live *traffic.Matrix) (*response.Plan, error) {
 				return planner.Plan(ctx, g)
 			}

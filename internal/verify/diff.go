@@ -227,6 +227,50 @@ func DiffSwap(planA, planB *response.Plan, tm *traffic.Matrix) *Report {
 	return r
 }
 
+// DiffWarmStart cross-checks a warm-started plan against the cold
+// plan it was seeded from. The contract it proves is the warm-start
+// acceptance rule: the plans are either fingerprint-identical (always
+// the case when every stage stays in the capacity-slack regime), or
+// they may differ only in on-demand/failover tables while (a) the
+// always-on stage — computed in the slack regime under the ε demand —
+// remains byte-identical and (b) the power of the warm plan's full
+// installed element set stays within (1+tol)× the cold plan's. The
+// returned flag reports fingerprint identity so callers can surface
+// power-equal-but-not-identical instances explicitly. tol <= 0 selects
+// mcf.DefaultWarmTolerance.
+func DiffWarmStart(t *topo.Topology, cold, warm *response.Plan, tol float64) (*Report, bool) {
+	r := &Report{Name: t.Name}
+	if tol <= 0 {
+		tol = mcf.DefaultWarmTolerance
+	}
+	if cold.Fingerprint() == warm.Fingerprint() {
+		return r, true
+	}
+	if !warm.AlwaysOnSet().Equal(cold.AlwaysOnSet()) {
+		r.addf("diff-warm", "always-on sets differ (%016x vs %016x): slack-regime stage must be exact",
+			warm.AlwaysOnSet().Fingerprint(), cold.AlwaysOnSet().Fingerprint())
+	}
+	cw := installedWatts(t, cold)
+	ww := installedWatts(t, warm)
+	if ww > (1+tol)*cw+eps {
+		r.addf("diff-warm", "installed power %.3f W exceeds (1+%.2g)× cold %.3f W", ww, tol, cw)
+	}
+	return r, false
+}
+
+// installedWatts prices the union of every installed level's elements
+// — the plan-wide analog of the subset search's objective.
+func installedWatts(t *topo.Topology, plan *response.Plan) float64 {
+	a := topo.AllOff(t)
+	for _, k := range plan.Pairs() {
+		ps, _ := plan.PathSet(k[0], k[1])
+		for _, p := range ps.Levels() {
+			a.ActivatePath(t, p)
+		}
+	}
+	return power.NetworkWatts(t, power.Cisco12000{}, a)
+}
+
 // AlwaysOnMaxUtil returns the worst arc utilization reached when every
 // demand of tm aggregates onto its always-on path under plan — the
 // quantity swap rigs derate against to stay shift-free.

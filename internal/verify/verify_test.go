@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 
 	"response"
@@ -136,6 +137,57 @@ func TestGeneratedCorpusDiffGreedy(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestGeneratedCorpusDiffWarmStart runs the warm-start differential
+// oracle over the full corpus: every instance is planned cold and then
+// warm-started from its own cold plan, and the warm plan must be
+// fingerprint-identical — or power-equal within the documented
+// tolerance with a byte-identical always-on stage, reported explicitly
+// — with zero invariant violations. This is the end-to-end proof that
+// incremental replans cannot drift.
+func TestGeneratedCorpusDiffWarmStart(t *testing.T) {
+	identical, powerEqual := 0, 0
+	var mu sync.Mutex
+	t.Run("instances", func(t *testing.T) {
+		for _, spec := range corpus() {
+			for _, size := range spec.sizes {
+				for _, seed := range spec.seeds {
+					cfg := topogen.Config{Family: spec.family, Size: size, Seed: seed}
+					t.Run(fmt.Sprintf("%s-%d-s%d", spec.family, size, seed), func(t *testing.T) {
+						t.Parallel()
+						inst, err := topogen.Generate(cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						cold := planInstance(t, inst)
+						warm := planInstance(t, inst, response.WithWarmStart(cold))
+						rep, same := verify.DiffWarmStart(inst.Topo, cold, warm, 0)
+						if !rep.Ok() {
+							t.Error(rep.Err())
+						}
+						mu.Lock()
+						if same {
+							identical++
+						} else {
+							powerEqual++
+							t.Logf("%s: warm plan power-equal within tolerance but not fingerprint-identical", inst.Topo.Name)
+						}
+						mu.Unlock()
+
+						// The warm plan must satisfy every table invariant,
+						// not merely match the cold plan's power.
+						opts := verify.Opts{TM: inst.Shape, NetScale: inst.MaxScale}
+						if err := verify.CheckTables(inst.Topo, warm.Tables(), opts).Err(); err != nil {
+							t.Error(err)
+						}
+					})
+				}
+			}
+		}
+	})
+	t.Logf("warm-start corpus: %d fingerprint-identical, %d power-equal within tolerance",
+		identical, powerEqual)
 }
 
 // TestGeneratedCorpusDiffAllocators runs the incremental-vs-global

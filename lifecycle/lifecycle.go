@@ -59,6 +59,13 @@ const (
 // slowness on the simulated clock.
 func ReplanBudget(ctx context.Context) (float64, bool) { return ilc.ReplanBudget(ctx) }
 
+// WarmHint returns the warm-start seed the manager attached to a
+// replan context — the promoted plan at launch time — if any. A
+// ReplanFunc passes it to response.WithWarmStart so recomputations
+// re-prove only the delta; Opts.NoWarmStart (or the hot-patchable
+// Policy knob) suppresses the hint.
+func WarmHint(ctx context.Context) (*response.Plan, bool) { return ilc.WarmHint(ctx) }
+
 // New builds a Manager over a running simulator/controller pair.
 // current is the installed plan; replan computes candidate
 // replacements (typically a response.Planner call with the live

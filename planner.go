@@ -2,6 +2,7 @@ package response
 
 import (
 	"context"
+	"fmt"
 	"io"
 
 	"response/internal/core"
@@ -15,7 +16,10 @@ import (
 type Option func(*config)
 
 type config struct {
-	core core.PlanOpts
+	core       core.PlanOpts
+	warm       *Plan
+	warmStrict bool
+	warmTol    float64
 }
 
 // WithPaths sets N, the number of energy-critical paths installed per
@@ -99,6 +103,39 @@ func WithMaxUtil(u float64) Option {
 // deterministic for a fixed seed.
 func WithSeed(seed int64) Option { return func(c *config) { c.core.Seed = seed } }
 
+// WithWarmStart seeds the plan from a previous plan of the same
+// topology: every subset-search stage starts from the corresponding
+// stage of prev and re-proves only the delta, skipping the cold
+// multi-restart pool when the warm result lands within the tolerance
+// (see WithWarmTolerance). With unchanged inputs the warm plan is
+// fingerprint-identical to the cold plan in the capacity-slack regime
+// and power-equal within the tolerance otherwise; a stage whose seed
+// cannot be used falls back to the cold search, so warm-starting never
+// changes what is plannable.
+//
+// A prev computed for a different topology (by fingerprint) is
+// silently ignored and the plan runs cold; use WithWarmStartStrict to
+// make that an error. A nil prev is a no-op.
+func WithWarmStart(prev *Plan) Option {
+	return func(c *config) { c.warm, c.warmStrict = prev, false }
+}
+
+// WithWarmStartStrict is WithWarmStart, except a prev whose topology
+// fingerprint does not match the topology being planned fails the
+// plan with ErrWarmStartMismatch instead of silently running cold.
+func WithWarmStartStrict(prev *Plan) Option {
+	return func(c *config) { c.warm, c.warmStrict = prev, true }
+}
+
+// WithWarmTolerance sets the power-regression gate of a warm-started
+// plan: each stage's warm result is kept only if its power is within
+// (1+tol)× of the warm seed's own power, otherwise the stage re-runs
+// cold. Zero selects the default (5%); a negative tol always accepts
+// the warm result.
+func WithWarmTolerance(tol float64) Option {
+	return func(c *config) { c.warmTol = tol }
+}
+
 // A Planner precomputes REsPoNse energy-critical path tables. The zero
 // value is usable; NewPlanner bakes in a base option set that every
 // Plan call starts from.
@@ -135,6 +172,18 @@ func (pl *Planner) Plan(ctx context.Context, t *Topology, opts ...Option) (*Plan
 	}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.warm != nil {
+		if fp := cfg.warm.Topology().Fingerprint(); fp != t.Fingerprint() {
+			if cfg.warmStrict {
+				return nil, fmt.Errorf("response: plan topology %#x vs warm-start %#x: %w",
+					t.Fingerprint(), fp, ErrWarmStartMismatch)
+			}
+			// Lenient warm-start against the wrong topology: plan cold.
+		} else {
+			cfg.core.Warm = cfg.warm.Tables().WarmStart()
+			cfg.core.Warm.Tolerance = cfg.warmTol
+		}
 	}
 	tables, err := core.PlanContext(ctx, t, cfg.core)
 	if err != nil {
