@@ -7,6 +7,8 @@
 //
 //	response-analyze -fig 1a|1b|2a|2b|all [-days N] [-stride N] [-csv file]
 //	response-analyze diff [-topo spec] [-json] [-warm [-warmtol f]] <planA> <planB>
+//	response-analyze trace [-tenant t] [-severity sev] [-json] <trace.jsonl|->
+//	response-analyze trace -summary <start> | -critical-path <start> [-k N] | -events [filters] <trace.jsonl|->
 //
 // The diff subcommand compares two plan-artifact files (the format
 // response.Plan.WriteTo emits and the controld daemon shelves) and
@@ -17,6 +19,16 @@
 // second plan is additionally judged as a warm-started replan of the
 // first — the run fails unless it is fingerprint-identical or
 // power-equal within the tolerance with an exact always-on stage.
+//
+// The trace subcommand ingests a JSONL event trace (a -trace file from
+// response-sim, "-" for stdin, or a multi-tenant stream captured from
+// controld's /events) into an in-memory trace store and answers the
+// progressive-disclosure queries: the default mode lists search
+// windows (triage first, never the whole trace), -summary drills into
+// one window's affected links, -critical-path ranks the window's
+// links by energy-criticality (HITS over the event→link incidence,
+// seeded with utilization at failure time), and -events retrieves
+// individual events. See DESIGN.md §11.
 package main
 
 import (
@@ -38,6 +50,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "diff" {
 		runDiff(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		runTrace(os.Args[2:])
 		return
 	}
 	fig := flag.String("fig", "all", "figure to regenerate: 1a, 1b, 2a, 2b or all")

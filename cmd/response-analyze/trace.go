@@ -1,0 +1,208 @@
+package main
+
+// The trace subcommand: ingest a JSONL event trace and answer the
+// trace store's progressive-disclosure queries from the command line.
+// Built entirely on the public response/tracestore facade — the same
+// store, parsers and query tiers the controld HTTP API serves.
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"text/tabwriter"
+
+	"response/tracestore"
+)
+
+func runTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	windowSec := fs.Float64("window-sec", 900, "search-window width in simulated seconds")
+	maxEvents := fs.Int("max-events", 0, "event-ring bound (0 = the default, 1<<20)")
+	tenant := fs.String("tenant", "", "restrict queries to one tenant label (multi-tenant controld streams)")
+	severity := fs.String("severity", "", "window search: minimum severity (info, warn, critical)")
+	since := fs.String("since", "", "lower time bound, inclusive")
+	until := fs.String("until", "", "upper time bound, exclusive")
+	limit := fs.String("limit", "", "result cap (windows default 100, events default 100)")
+	summaryAt := fs.String("summary", "", "drill into the window starting at this time: per-link summary")
+	cpAt := fs.String("critical-path", "", "rank the links of the window starting at this time by energy-criticality")
+	k := fs.Int("k", 10, "ranked links to return for -critical-path")
+	events := fs.Bool("events", false, "retrieve individual events instead of windows")
+	span := fs.String("span", "", "event filter: span (te, sim, lifecycle, chaos)")
+	op := fs.String("op", "", "event filter: op")
+	flow := fs.String("flow", "", "event filter: flow id (-1 = events with no flow)")
+	link := fs.String("link", "", "event filter: link id (-1 = events with no link)")
+	asJSON := fs.Bool("json", false, "emit results as JSON instead of tables")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if fs.NArg() != 1 {
+		log.Fatalf("usage: response-analyze trace [flags] <trace.jsonl|->")
+	}
+
+	var in io.Reader = os.Stdin
+	if path := fs.Arg(0); path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	s := tracestore.New(tracestore.Opts{WindowSec: *windowSec, MaxEvents: *maxEvents})
+	if _, _, err := s.Ingest(bufio.NewReader(in)); err != nil {
+		log.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Ingested == 0 {
+		log.Fatalf("no events ingested (%d lines skipped): not a JSONL event trace?", st.Skipped)
+	}
+	fmt.Fprintf(os.Stderr, "ingested %d events (%d skipped, %d evicted), %d windows, %d tenant(s)\n",
+		st.Ingested, st.Skipped, st.Evicted, st.Windows, st.Tenants)
+
+	// The string flags funnel through the same URL-parameter parsers the
+	// controld HTTP API uses, so validation and defaults stay identical.
+	params := map[string][]string{}
+	set := func(key, val string) {
+		if val != "" {
+			params[key] = []string{val}
+		}
+	}
+	set("tenant", *tenant)
+	set("severity", *severity)
+	set("since", *since)
+	set("until", *until)
+	set("limit", *limit)
+
+	switch {
+	case *summaryAt != "":
+		set("start", *summaryAt)
+		q, err := tracestore.ParseDrillQuery(params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		det, ok := s.Summary(q.Tenant, q.Start)
+		if !ok {
+			log.Fatalf("no retained events in the window at %s", *summaryAt)
+		}
+		emit(*asJSON, det, printSummary)
+	case *cpAt != "":
+		set("start", *cpAt)
+		set("k", strconv.Itoa(*k))
+		q, err := tracestore.ParseDrillQuery(params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cp := s.CriticalPathQuery(q.Tenant, q.Start, q.K)
+		if cp.Events == 0 {
+			log.Fatalf("no retained events in the window at %s", *cpAt)
+		}
+		emit(*asJSON, cp, printCriticalPath)
+	case *events:
+		set("span", *span)
+		set("op", *op)
+		set("flow", *flow)
+		set("link", *link)
+		q, err := tracestore.ParseEventQuery(params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(*asJSON, s.Events(q), printEvents)
+	default:
+		q, err := tracestore.ParseWindowQuery(params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(*asJSON, s.Windows(q), printWindows)
+	}
+}
+
+// emit renders v as indented JSON or hands it to the table printer.
+func emit[T any](asJSON bool, v T, table func(io.Writer, T)) {
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	table(os.Stdout, v)
+}
+
+func printWindows(w io.Writer, ws []tracestore.WindowSummary) {
+	if len(ws) == 0 {
+		fmt.Fprintln(w, "no windows match")
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "START\tEND\tTENANT\tSEV\tEVENTS\tFAIL\tCASCADE\tEVAC\tWAKE\tSLEEP\tREPLAN-FAIL\tDEGRADED")
+	for _, s := range ws {
+		fmt.Fprintf(tw, "%g\t%g\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			s.Start, s.End, orDash(s.Tenant), s.Severity, s.Events,
+			s.Failures, s.Cascades, s.Evacuations, s.LinkWakes, s.LinkSleeps,
+			s.ReplanFailures, s.Degraded)
+	}
+	tw.Flush()
+}
+
+func printSummary(w io.Writer, det tracestore.WindowDetail) {
+	s := det.Window
+	fmt.Fprintf(w, "window [%g, %g) tenant=%s severity=%s: %d events, %d flows touched\n",
+		s.Start, s.End, orDash(s.Tenant), s.Severity, s.Events, det.FlowsTouched)
+	fmt.Fprintf(w, "  failures=%d cascades=%d repairs=%d evacuations=%d shifts=%d wakes=%d sleeps=%d\n",
+		s.Failures, s.Cascades, s.Repairs, s.Evacuations, s.Shifts, s.LinkWakes, s.LinkSleeps)
+	fmt.Fprintf(w, "  probes=%d swaps=%d replan-failures=%d degraded=%d recovered=%d retries=%d\n",
+		s.Probes, s.Swaps, s.ReplanFailures, s.Degraded, s.Recovered, s.Retries)
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "LINK\tEVENTS\tFAIL\tEVAC\tWAKE\tSLEEP\tMAX-UTIL\tFIRST\tLAST")
+	for _, l := range det.Links {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%.3f\t%g\t%g\n",
+			l.Link, l.Events, l.Failures, l.Evacuations, l.Wakes, l.Sleeps,
+			l.MaxUtil, l.FirstTS, l.LastTS)
+	}
+	tw.Flush()
+}
+
+func printCriticalPath(w io.Writer, cp tracestore.CriticalPath) {
+	fmt.Fprintf(w, "energy-critical path of window [%g, %g) tenant=%s: %d events, %d actors\n",
+		cp.Start, cp.End, orDash(cp.Tenant), cp.Events, cp.Actors)
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "RANK\tLINK\tSCORE\tSEED\tEVENTS\tFAIL\tEVAC")
+	for i, l := range cp.Links {
+		fmt.Fprintf(tw, "%d\t%d\t%.4f\t%.3f\t%d\t%d\t%d\n",
+			i+1, l.Link, l.Score, l.Seed, l.Events, l.Failures, l.Evacuations)
+	}
+	tw.Flush()
+}
+
+func printEvents(w io.Writer, evs []tracestore.Event) {
+	if len(evs) == 0 {
+		fmt.Fprintln(w, "no events match")
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "TS\tTENANT\tSPAN\tOP\tFLOW\tFROM\tTO\tLINK\tVAL")
+	for _, e := range evs {
+		fmt.Fprintf(tw, "%g\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%g\n",
+			e.TS, orDash(e.Tenant), e.Span, e.Op,
+			orDashInt(e.Flow), orDashInt(e.From), orDashInt(e.To), orDashInt(e.Link), e.Val)
+	}
+	tw.Flush()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func orDashInt(v int) string {
+	if v < 0 {
+		return "-"
+	}
+	return strconv.Itoa(v)
+}

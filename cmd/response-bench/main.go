@@ -41,6 +41,9 @@ func main() {
 	warm := flag.Bool("warm", false, "run the warm-start replan benchmark instead of the figure suite")
 	warmspec := flag.String("warmspec", "fattree:8,fattree:14,waxman:50", "comma-separated family:size list for -warm")
 	warmgate := flag.Float64("warmgate", 0, "with -warm, exit non-zero if any warm replan exceeds this many ms (0 = no gate)")
+	tracebench := flag.Bool("trace", false, "run the trace-store ingest/query benchmark instead of the figure suite")
+	traceout := flag.String("traceout", "BENCH_trace.json", "output path of the -trace benchmark JSON")
+	traceevents := flag.Int("traceevents", 1<<20, "with -trace, synthetic stream size in events (-quick divides by 8)")
 	flag.Parse()
 
 	if *gen {
@@ -49,6 +52,14 @@ func main() {
 	}
 	if *warm {
 		runWarmBench(*warmspec, *warmgate)
+		return
+	}
+	if *tracebench {
+		n := *traceevents
+		if *quick {
+			n /= 8
+		}
+		runTraceBench(n, *traceout)
 		return
 	}
 
@@ -152,6 +163,25 @@ func runGenSweep(quick bool, out string) {
 	fmt.Printf("\nwrote %s in %s\n", out, time.Since(start).Round(time.Millisecond))
 	if n := sweep.Violations(); n > 0 {
 		log.Fatalf("generated sweep found %d invariant violation(s)", n)
+	}
+}
+
+// runTraceBench executes the trace-store ingest/query benchmark,
+// prints the table and writes the JSON artifact. A top-ranked
+// critical-path link outside the synthetic burst makes the run exit
+// non-zero — the CI diagnosis gate.
+func runTraceBench(events int, out string) {
+	start := time.Now()
+	bench, err := experiments.RunTraceBench(events, 0)
+	fail(err)
+	bench.Print(os.Stdout)
+	f, err := os.Create(out)
+	fail(err)
+	fail(bench.WriteJSON(f))
+	fail(f.Close())
+	fmt.Printf("\nwrote %s in %s\n", out, time.Since(start).Round(time.Millisecond))
+	if !bench.CriticalTopIsBurst {
+		log.Fatal("critical-path query did not rank a burst link first")
 	}
 }
 

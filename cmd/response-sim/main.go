@@ -10,12 +10,18 @@
 //	response-sim -fig 4|7|8a|8b|9|web|all
 //	response-sim -scenario diurnal|flash|storm|repair|click|replan|srlgstorm|chaos \
 //	             [-flows N] [-seed S] [-duration SECONDS] [-full] [-power] \
-//	             [-fail-rate R] [-chaos-seed S] [-trace events.jsonl]
+//	             [-fail-rate R] [-chaos-seed S] [-trace events.jsonl|-]
 //
 // -fail-rate injects control-plane faults into the lifecycle replan
 // loop at aggregate rate R (0..1), split across fault classes;
 // -chaos-seed draws the injection sequence from its own seed. A run
 // that ends in the Degraded fallback exits non-zero.
+//
+// -trace writes the run's JSONL event trace to a file, or with "-"
+// streams it to stdout (the result summary moves to stderr), so a run
+// pipes straight into the trace analyzer:
+//
+//	response-sim -scenario srlgstorm -trace - | response-analyze trace -
 package main
 
 import (
@@ -81,8 +87,22 @@ func main() {
 		if *failRate > 0 {
 			cfg.Faults = chaosFaults(*failRate, *chaosSeed)
 		}
+		// -trace - streams the events to stdout (pipe straight into
+		// `response-analyze trace -`); the human-readable result then
+		// moves to stderr so the stream stays pure JSONL.
+		resOut := os.Stdout
 		var flush func()
-		if *tracePath != "" {
+		if *tracePath == "-" {
+			bw := bufio.NewWriter(os.Stdout)
+			ew := simulate.NewEventWriter(bw)
+			cfg.Events = ew
+			resOut = os.Stderr
+			flush = func() {
+				fail(ew.Err())
+				fail(bw.Flush())
+				fmt.Fprintf(os.Stderr, "  streamed %d events to stdout\n", ew.Events())
+			}
+		} else if *tracePath != "" {
 			f, err := os.Create(*tracePath)
 			fail(err)
 			bw := bufio.NewWriter(f)
@@ -97,7 +117,7 @@ func main() {
 		}
 		res, err := simulate.RunScenario(*scen, cfg)
 		fail(err)
-		res.Print(os.Stdout)
+		res.Print(resOut)
 		if flush != nil {
 			flush()
 		}

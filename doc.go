@@ -101,6 +101,22 @@
 // each tenant's lifecycle manager, patch trigger policies without a
 // restart, and stream every tenant's event trace. See DESIGN.md §9.
 //
+// # Observability
+//
+// The runtime's JSONL event traces are queryable, not just recordable:
+// response/tracestore ingests them (files, stdin, or controld's live
+// hub) into an indexed, bounded-memory store serving
+// progressive-disclosure incident queries — search severity-classified
+// windows, drill into one window's per-link summary, rank the window's
+// links by energy-criticality (the planner's HITS kernel over the
+// event→link incidence, seeded with utilization at failure time), and
+// only then fetch raw events. The same queries serve over HTTP from
+// controld and from the response-analyze trace subcommand. Runtime
+// counters (response/metrics) meter the TE, simulator and lifecycle
+// hot paths with zero-allocation atomics — nil disables metering —
+// and render in Prometheus text format, per tenant, on controld's
+// /metrics. See DESIGN.md §11.
+//
 // # Companion packages
 //
 //   - response/topology:      network model and builders (fat-tree, GÉANT, ...)
@@ -110,6 +126,8 @@
 //   - response/lifecycle:     deviation-triggered replanning + table hot-swap
 //   - response/faultinject:   seed-deterministic control-plane fault injection
 //   - response/controld:      multi-tenant planning-as-a-service daemon
+//   - response/tracestore:    indexed trace store + energy-critical-path queries
+//   - response/metrics:       zero-allocation runtime counters + Prometheus text
 //   - response/experiments:   one entry point per reproduced paper figure
 //
 // Correctness is property-based, not only pinned: response/topogen

@@ -54,6 +54,9 @@ type (
 	// WarmBench is the warm-start replan benchmark (cold plan vs warm
 	// replan per generated instance).
 	WarmBench = iexp.WarmBench
+	// TraceBench is the trace-store ingest/query benchmark (synthetic
+	// incident stream through response/tracestore).
+	TraceBench = iexp.TraceBench
 	// WarmPoint is one instance of a WarmBench.
 	WarmPoint = iexp.WarmPoint
 	// Point is one (x, y) sample of a result curve.
@@ -86,6 +89,15 @@ func RunGeneratedSweep(opts GenSweepOpts) (GenSweep, error) {
 // gates on WarmBench.MaxWarmMs.
 func RunWarmBench(spec string) (WarmBench, error) {
 	return iexp.RunWarmBench(spec)
+}
+
+// RunTraceBench renders a synthetic events-sized incident stream
+// through the JSONL flight recorder, ingests it into a trace store and
+// times the progressive-disclosure query tiers. queryIters ≤ 0 selects
+// the default iteration count. cmd/response-bench -trace drives it and
+// records BENCH_trace.json.
+func RunTraceBench(events, queryIters int) (TraceBench, error) {
+	return iexp.RunTraceBench(events, queryIters)
 }
 
 // RunFig1a regenerates Figure 1a over a trace of the given length.

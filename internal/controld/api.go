@@ -6,10 +6,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 
 	"response"
 	ilc "response/internal/lifecycle"
+	"response/internal/metrics"
+	"response/internal/tracestore"
 )
 
 // apiError is the uniform error body.
@@ -73,6 +76,11 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/tenants/{tenant}/rollback", s.mutating(s.withTenant(s.handleRollback)))
 	s.mux.HandleFunc("GET /v1/tenants/{tenant}/events", s.withTenant(s.handleTenantEvents))
 	s.mux.HandleFunc("GET /v1/events", s.handleAllEvents)
+	s.mux.HandleFunc("GET /v1/tenants/{tenant}/trace/windows", s.withTenant(s.handleTraceWindows))
+	s.mux.HandleFunc("GET /v1/tenants/{tenant}/trace/summary", s.withTenant(s.handleTraceSummary))
+	s.mux.HandleFunc("GET /v1/tenants/{tenant}/trace/critical-path", s.withTenant(s.handleTraceCriticalPath))
+	s.mux.HandleFunc("GET /v1/tenants/{tenant}/trace/events", s.withTenant(s.handleTraceEvents))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 }
 
 // mutating refuses the request once a drain has begun.
@@ -508,6 +516,84 @@ func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request, t *tenan
 		return
 	}
 	s.promoteDigest(w, t, lastGood)
+}
+
+// --- Trace-store incident queries (progressive disclosure: windows →
+// summary → critical-path → events; DESIGN.md §11) ---
+
+func (s *Server) handleTraceWindows(w http.ResponseWriter, r *http.Request, t *tenant) {
+	q, err := tracestore.ParseWindowQuery(r.URL.Query())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q.Tenant = t.name
+	wins := s.store.Windows(q)
+	if wins == nil {
+		wins = []tracestore.WindowSummary{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"window_sec": s.store.WindowSec(),
+		"windows":    wins,
+	})
+}
+
+func (s *Server) handleTraceSummary(w http.ResponseWriter, r *http.Request, t *tenant) {
+	q, err := tracestore.ParseDrillQuery(r.URL.Query())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	det, ok := s.store.Summary(t.name, q.Start)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no retained events in the window at %g", q.Start)
+		return
+	}
+	writeJSON(w, http.StatusOK, det)
+}
+
+func (s *Server) handleTraceCriticalPath(w http.ResponseWriter, r *http.Request, t *tenant) {
+	q, err := tracestore.ParseDrillQuery(r.URL.Query())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cp := s.store.CriticalPathQuery(t.name, q.Start, q.K)
+	if cp.Links == nil {
+		cp.Links = []tracestore.LinkScore{}
+	}
+	writeJSON(w, http.StatusOK, cp)
+}
+
+func (s *Server) handleTraceEvents(w http.ResponseWriter, r *http.Request, t *tenant) {
+	q, err := tracestore.ParseEventQuery(r.URL.Query())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q.Tenant = t.name
+	evs := s.store.Events(q)
+	if evs == nil {
+		evs = []tracestore.Event{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"events": evs})
+}
+
+// handleMetrics serves the Prometheus text page: every tenant's
+// runtime counter families (tenant-labeled), then the trace store's
+// own bookkeeping.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	ts := s.reg.all()
+	sort.Slice(ts, func(i, j int) bool { return ts[i].name < ts[j].name })
+	sets := make([]metrics.Labeled, 0, len(ts))
+	for _, t := range ts {
+		sets = append(sets, metrics.Labeled{Tenant: t.name, Runtime: t.metrics})
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := metrics.WritePrometheus(w, sets); err != nil {
+		return
+	}
+	s.store.WritePrometheus(w) //nolint:errcheck // response writer
 }
 
 func (s *Server) handleTenantEvents(w http.ResponseWriter, r *http.Request, t *tenant) {

@@ -20,11 +20,16 @@
 //     the same stage gates and zero-disruption hot swap a
 //     deviation-triggered replan uses,
 //   - a live event stream (SSE or NDJSON long-poll) multiplexing
-//     every tenant's JSONL trace, and
+//     every tenant's JSONL trace,
+//   - an embedded trace store (response/tracestore) subscribed to the
+//     same hub, serving the progressive-disclosure incident queries
+//     (windows → summary → critical-path → events) per tenant,
+//   - per-tenant runtime metrics and a Prometheus /metrics page, and
 //   - hot config patches: PATCH validates the merged lifecycle policy
 //     before any of it is applied, so a bad patch changes nothing.
 //
-// See DESIGN.md §9 for the API table and the concurrency argument.
+// See DESIGN.md §9 for the API table and the concurrency argument, and
+// §11 for the observability stack.
 package controld
 
 import (
@@ -36,6 +41,7 @@ import (
 	"sync/atomic"
 
 	"response"
+	"response/internal/tracestore"
 	"response/internal/traffic"
 )
 
@@ -49,6 +55,10 @@ type Opts struct {
 	// EventBuffer is the per-subscriber event channel depth (default
 	// 256); a subscriber that falls further behind loses events.
 	EventBuffer int
+	// Trace parameterizes the embedded trace store serving the
+	// …/trace/* incident queries (zero values take the tracestore
+	// defaults: 1Mi events, 4096 windows per tenant, 900 s windows).
+	Trace tracestore.Opts
 	// PlanHook, when set, replaces the real planner for plan jobs —
 	// a test seam for exercising cancellation and failure paths
 	// deterministically.
@@ -79,7 +89,12 @@ type Server struct {
 	reg   *registry
 	sched *scheduler
 	hub   *hub
+	store *tracestore.Store
 	mux   *http.ServeMux
+
+	// ingestDone closes when the trace-store ingest goroutine has
+	// drained its subscription (after hub.close).
+	ingestDone chan struct{}
 
 	draining  atomic.Bool
 	drainOnce sync.Once
@@ -89,15 +104,32 @@ type Server struct {
 func New(opts Opts) *Server {
 	opts.defaults()
 	s := &Server{
-		opts: opts,
-		reg:  newRegistry(),
-		hub:  newHub(),
-		mux:  http.NewServeMux(),
+		opts:       opts,
+		reg:        newRegistry(),
+		hub:        newHub(),
+		store:      tracestore.New(opts.Trace),
+		mux:        http.NewServeMux(),
+		ingestDone: make(chan struct{}),
 	}
 	s.sched = newScheduler(opts.Workers, s.runPlanJob)
+	// The trace store is just another hub subscriber, behind a deep
+	// buffer: a query burst can slow ingestion (dropped lines are the
+	// same back-pressure answer every subscriber gets), but it can
+	// never stall a tenant loop.
+	sub := s.hub.subscribe("", 4096)
+	go func() {
+		defer close(s.ingestDone)
+		for line := range sub.ch {
+			s.store.IngestLine(line)
+		}
+	}()
 	s.routes()
 	return s
 }
+
+// TraceStore exposes the embedded trace store (the …/trace/* query
+// backend) for in-process callers and tests.
+func (s *Server) TraceStore() *tracestore.Store { return s.store }
 
 // Handler returns the daemon's HTTP API.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -124,6 +156,9 @@ func (s *Server) Drain(ctx context.Context) error {
 		}
 		wg.Wait()
 		s.hub.close()
+		// The ingest goroutine drains its remaining buffer and exits, so
+		// post-drain trace queries see every published event.
+		<-s.ingestDone
 	})
 	return ctx.Err()
 }

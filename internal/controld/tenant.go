@@ -11,6 +11,7 @@ import (
 	"response"
 	"response/internal/core"
 	"response/internal/faultinject"
+	"response/internal/metrics"
 	"response/internal/scenario"
 	"response/internal/sim"
 	"response/internal/topo"
@@ -131,6 +132,7 @@ type tenant struct {
 	topoGraph *topo.Topology
 	store     *artifactStore
 	events    *trace.EventWriter
+	metrics   *metrics.Runtime
 
 	cmds chan func()
 	quit chan struct{}
@@ -292,6 +294,8 @@ func newTenant(spec TenantSpec, h *hub, maxArtifacts int) (*tenant, error) {
 	}
 	events := trace.NewEventWriter(newTenantTee(h, spec.Name))
 	cfg.Events = events
+	rt := &metrics.Runtime{}
+	cfg.Metrics = rt
 	rep, err := scenario.NewDiurnal(g, endpoints, cfg)
 	if err != nil {
 		return nil, err
@@ -304,6 +308,7 @@ func newTenant(spec TenantSpec, h *hub, maxArtifacts int) (*tenant, error) {
 		topoGraph: g,
 		store:     newArtifactStore(maxArtifacts),
 		events:    events,
+		metrics:   rt,
 		cmds:      make(chan func()),
 		quit:      make(chan struct{}),
 		dead:      make(chan struct{}),

@@ -1,0 +1,67 @@
+// Package criticality implements the HITS-style mutual-reinforcement
+// scoring shared by the planner's warm descent (internal/mcf) and the
+// trace store's energy-critical-path diagnostics
+// (internal/tracestore) — the "identify critical branches with
+// cascading failure chain statistics and HITS" idea applied to the
+// paper's energy-critical links.
+//
+// The model is a bipartite graph between links and items (routed
+// demands offline, failure-chain actors online): a link is critical
+// when it carries items that themselves depend on critical links,
+// seeded and reweighted each round by per-link utilization (the slack
+// term). Both callers share the identical float-operation order, so
+// extracting the kernel here keeps the planner's pinned plan
+// fingerprints bit-identical.
+package criticality
+
+// Scores runs iters rounds of utilization-seeded HITS over an
+// item→link incidence and returns the per-link hub scores, normalized
+// to max 1. seed holds one non-negative weight per link (utilization);
+// incidence must yield, for item i, every link the item touches — with
+// multiplicity, in a deterministic order, identically on every call.
+//
+// Each round: auth[item] = Σ h[link] over the item's links;
+// hub[link] = Σ auth[item] over items touching the link;
+// h[link] = seed[link] · hub[link]; then h is max-normalized. The
+// returned slice is freshly allocated; seed is not modified.
+func Scores(seed []float64, items int, incidence func(item int, yield func(link int)), iters int) []float64 {
+	h := append([]float64(nil), seed...)
+	NormalizeMax(h)
+	auth := make([]float64, items)
+	hub := make([]float64, len(seed))
+	for iter := 0; iter < iters; iter++ {
+		clear(auth)
+		for i := 0; i < items; i++ {
+			incidence(i, func(l int) {
+				auth[i] += h[l]
+			})
+		}
+		clear(hub)
+		for i := 0; i < items; i++ {
+			incidence(i, func(l int) {
+				hub[l] += auth[i]
+			})
+		}
+		for l := range h {
+			h[l] = seed[l] * hub[l]
+		}
+		NormalizeMax(h)
+	}
+	return h
+}
+
+// NormalizeMax scales v in place so its maximum is 1; an all-zero or
+// empty slice is left untouched.
+func NormalizeMax(v []float64) {
+	var mx float64
+	for _, x := range v {
+		if x > mx {
+			mx = x
+		}
+	}
+	if mx > 0 {
+		for i := range v {
+			v[i] /= mx
+		}
+	}
+}

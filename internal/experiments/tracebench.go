@@ -1,0 +1,177 @@
+package experiments
+
+// The trace-store benchmark: ingest throughput and query latency of
+// response/tracestore at scale (cmd/response-bench -trace, recorded as
+// BENCH_trace.json and smoke-tested in CI).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"response/internal/trace"
+	"response/internal/tracestore"
+)
+
+// TraceBench is the result of RunTraceBench: a synthetic incident
+// stream rendered through the real trace.EventWriter, ingested whole,
+// then drilled into with the progressive-disclosure query tiers.
+type TraceBench struct {
+	// Events is the stream size; IngestSec the wall time to ingest it;
+	// IngestPerSec the resulting throughput in events per second.
+	Events       int     `json:"events"`
+	IngestSec    float64 `json:"ingest_sec"`
+	IngestPerSec float64 `json:"ingest_events_per_sec"`
+	// Retained/Windows/Skipped echo the store's post-ingest stats.
+	Retained int `json:"retained"`
+	Windows  int `json:"windows"`
+	Skipped  int `json:"skipped"`
+	// Query latencies in milliseconds: tier-1 window search, tier-2
+	// summary and tier-3 critical path over the incident windows
+	// (mean and worst over QueryIters runs each).
+	QueryIters         int     `json:"query_iters"`
+	WindowsMeanMs      float64 `json:"windows_mean_ms"`
+	SummaryMeanMs      float64 `json:"summary_mean_ms"`
+	CriticalMeanMs     float64 `json:"critical_path_mean_ms"`
+	CriticalMaxMs      float64 `json:"critical_path_max_ms"`
+	CriticalPathLinks  int     `json:"critical_path_links"`
+	CriticalTopIsBurst bool    `json:"critical_top_is_burst"`
+}
+
+// traceBenchStream renders a deterministic synthetic incident stream:
+// steady te/sim churn over 200 links and 5000 flows at 10 events/s,
+// with an SRLG-style failure burst (5 cuts, evacuation wave) opening
+// every 10th 900-second window. Returns the JSONL bytes and the burst
+// links of the first incident window.
+func traceBenchStream(events int) (*bytes.Buffer, []int, float64) {
+	var buf bytes.Buffer
+	ew := trace.NewEventWriter(&buf)
+	rng := rand.New(rand.NewSource(7))
+	const (
+		links     = 200
+		flows     = 5000
+		windowSec = 900
+		perWindow = windowSec * 10 // 10 events/s
+	)
+	// The first incident window and its burst links are deterministic:
+	// windowIdx 1, cuts at (17 + i*31) % links.
+	var burst []int
+	for i := 0; i < 5; i++ {
+		burst = append(burst, (17+i*31)%links)
+	}
+	burstAt := float64(windowSec)
+	for i := 0; i < events; i++ {
+		ts := float64(i) / 10
+		inWindow := i % perWindow
+		windowIdx := i / perWindow
+		if windowIdx%10 == 1 && inWindow < 55 {
+			// Incident: 5 cuts then a 50-flow evacuation wave.
+			if inWindow < 5 {
+				l := (windowIdx*17 + inWindow*31) % links
+				ew.EmitLink(ts, "sim", "fail", l, 0.9+0.02*float64(inWindow))
+				continue
+			}
+			l := (windowIdx*17 + (inWindow%5)*31) % links
+			ew.EmitFlowLink(ts, "te", "evacuate", rng.Intn(flows), rng.Intn(40), rng.Intn(40), l, 1)
+			continue
+		}
+		switch i % 10 {
+		case 0:
+			ew.Emit(ts, "te", "probe", -1, -1, -1, 0)
+		case 1:
+			ew.EmitLink(ts, "sim", "sleep", rng.Intn(links), 30)
+		case 2:
+			ew.EmitLink(ts, "sim", "wake", rng.Intn(links), 2)
+		default:
+			ew.EmitFlowLink(ts, "te", "shift", rng.Intn(flows), rng.Intn(40), rng.Intn(40), rng.Intn(links), rng.Float64())
+		}
+	}
+	return &buf, burst, burstAt
+}
+
+// RunTraceBench ingests a synthetic events-sized incident stream and
+// times the query tiers. cmd/response-bench -trace drives it.
+func RunTraceBench(events, queryIters int) (TraceBench, error) {
+	if events <= 0 {
+		events = 1 << 20
+	}
+	if queryIters <= 0 {
+		queryIters = 100
+	}
+	buf, burst, burstAt := traceBenchStream(events)
+	s := tracestore.New(tracestore.Opts{MaxEvents: events})
+
+	start := time.Now()
+	added, skipped, err := s.Ingest(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return TraceBench{}, err
+	}
+	ingest := time.Since(start).Seconds()
+	st := s.Stats()
+	b := TraceBench{
+		Events:       added,
+		IngestSec:    ingest,
+		IngestPerSec: float64(added) / ingest,
+		Retained:     st.Events,
+		Windows:      st.Windows,
+		Skipped:      skipped,
+		QueryIters:   queryIters,
+	}
+
+	timeIt := func(f func()) float64 {
+		t0 := time.Now()
+		for i := 0; i < queryIters; i++ {
+			f()
+		}
+		return time.Since(t0).Seconds() * 1000 / float64(queryIters)
+	}
+	b.WindowsMeanMs = timeIt(func() {
+		s.Windows(tracestore.WindowQuery{MinSeverity: tracestore.SevCritical})
+	})
+	b.SummaryMeanMs = timeIt(func() { s.Summary("", burstAt) })
+
+	var worst time.Duration
+	t0 := time.Now()
+	for i := 0; i < queryIters; i++ {
+		q0 := time.Now()
+		cp := s.CriticalPathQuery("", burstAt, 10)
+		if d := time.Since(q0); d > worst {
+			worst = d
+		}
+		if i == 0 {
+			b.CriticalPathLinks = len(cp.Links)
+			if len(cp.Links) > 0 {
+				for _, l := range burst {
+					if cp.Links[0].Link == l {
+						b.CriticalTopIsBurst = true
+					}
+				}
+			}
+		}
+	}
+	b.CriticalMeanMs = time.Since(t0).Seconds() * 1000 / float64(queryIters)
+	b.CriticalMaxMs = worst.Seconds() * 1000
+	return b, nil
+}
+
+// Print writes the benchmark in the table style of the other suites.
+func (b TraceBench) Print(w io.Writer) {
+	fmt.Fprintf(w, "trace-store benchmark (%d events)\n", b.Events)
+	fmt.Fprintf(w, "  ingest          %.2f s  (%.0f events/s, %d retained, %d windows, %d skipped)\n",
+		b.IngestSec, b.IngestPerSec, b.Retained, b.Windows, b.Skipped)
+	fmt.Fprintf(w, "  windows query   %.3f ms mean over %d iters\n", b.WindowsMeanMs, b.QueryIters)
+	fmt.Fprintf(w, "  summary query   %.3f ms mean\n", b.SummaryMeanMs)
+	fmt.Fprintf(w, "  critical path   %.3f ms mean, %.3f ms worst (%d links, top-is-burst %v)\n",
+		b.CriticalMeanMs, b.CriticalMaxMs, b.CriticalPathLinks, b.CriticalTopIsBurst)
+}
+
+// WriteJSON emits the benchmark as indented JSON (the BENCH_trace.json
+// artifact).
+func (b TraceBench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

@@ -91,6 +91,7 @@ import (
 
 	"response"
 	"response/internal/analysis"
+	"response/internal/metrics"
 	"response/internal/power"
 	"response/internal/sim"
 	"response/internal/stats"
@@ -265,6 +266,10 @@ type Opts struct {
 	// (span "lifecycle": check/trigger/replan/stage/swap/retry/
 	// degraded/recovered/...).
 	Events *trace.EventWriter
+	// Metrics, when non-nil, receives zero-alloc counter increments
+	// mirroring the Metrics snapshot for concurrent scrapers (replan
+	// outcomes, swap durations, degraded time) — the /metrics feed.
+	Metrics *metrics.Runtime
 	// OnSwap, when non-nil, runs at each migrated flow's demand
 	// handoff; applications that hold *Flow references re-point them
 	// here.
@@ -387,7 +392,8 @@ type Manager struct {
 	stopped       bool
 	lastReplanAt  float64
 	pendingRetire int
-	lastMigrated  int // flows migrated by the in-progress/last swap
+	lastMigrated  int     // flows migrated by the in-progress/last swap
+	swapStartAt   float64 // sim time the in-progress swap began
 	artifact      []byte
 
 	// failure machinery
@@ -656,6 +662,10 @@ func (m *Manager) deviation(base, cur *traffic.Matrix) float64 {
 func (m *Manager) check() {
 	defer m.publish()
 	m.met.Checks++
+	if rt := m.opts.Metrics; rt != nil {
+		rt.Checks.Inc()
+		rt.SimSeconds.Set(m.s.Now())
+	}
 	m.buildLive()
 	dev := m.deviation(m.planned, m.live)
 	m.met.LastDeviation = dev
@@ -694,6 +704,9 @@ func (m *Manager) check() {
 // matrix.
 func (m *Manager) fire() {
 	m.met.Triggers++
+	if rt := m.opts.Metrics; rt != nil {
+		rt.Triggers.Inc()
+	}
 	m.opts.Events.Emit(m.s.Now(), "lifecycle", "trigger", -1, -1, -1, m.met.LastDeviation)
 	m.launch()
 }
@@ -767,6 +780,9 @@ func (m *Manager) stage(p *response.Plan, err error) {
 	}
 	defer m.publish()
 	m.met.Replans++
+	if rt := m.opts.Metrics; rt != nil {
+		rt.Replans.Inc()
+	}
 	m.inFlight = false
 	if m.state == StateReplanning {
 		m.state = StateIdle
@@ -800,6 +816,9 @@ func (m *Manager) stage(p *response.Plan, err error) {
 	m.buildLive()
 	if m.deviation(m.trigger, m.live) >= m.opts.Spread {
 		m.met.Superseded++
+		if rt := m.opts.Metrics; rt != nil {
+			rt.Superseded.Inc()
+		}
 		m.armed = true
 		m.opts.Events.Emit(m.s.Now(), "lifecycle", "superseded", -1, -1, -1, 0)
 		if m.state == StateDegraded {
@@ -815,6 +834,19 @@ func (m *Manager) stage(p *response.Plan, err error) {
 func (m *Manager) failedCycle(op string) {
 	m.consecFail++
 	m.met.ConsecutiveFailures = m.consecFail
+	if rt := m.opts.Metrics; rt != nil {
+		// The one funnel every failed cycle passes through; the op
+		// string names the flavor.
+		rt.ReplanFailed.Inc()
+		switch op {
+		case "replan-panic":
+			rt.ReplanPanics.Inc()
+		case "replan-timeout":
+			rt.ReplanTimeouts.Inc()
+		case "reject-invalid":
+			rt.RejectedInvalid.Inc()
+		}
+	}
 	m.armed = true
 	m.opts.Events.Emit(m.s.Now(), "lifecycle", op, -1, -1, -1, float64(m.consecFail))
 	if m.state != StateDegraded && m.opts.DegradedAfter > 0 && m.consecFail >= m.opts.DegradedAfter {
@@ -829,6 +861,9 @@ func (m *Manager) failedCycle(op string) {
 func (m *Manager) enterDegraded() {
 	m.state = StateDegraded
 	m.met.DegradedEntered++
+	if rt := m.opts.Metrics; rt != nil {
+		rt.DegradedEntered.Inc()
+	}
 	m.degradedSince = m.s.Now()
 	m.s.SetPinnedOn(topo.AllOn(m.s.T))
 	m.opts.Events.Emit(m.s.Now(), "lifecycle", "degraded", -1, -1, -1, float64(m.consecFail))
@@ -847,6 +882,10 @@ func (m *Manager) cycleSucceeded(restorePin bool) {
 	}
 	m.met.DegradedExited++
 	m.met.DegradedSec += m.s.Now() - m.degradedSince
+	if rt := m.opts.Metrics; rt != nil {
+		rt.DegradedExited.Inc()
+		rt.DegradedSec.Add(m.s.Now() - m.degradedSince)
+	}
 	m.state = StateIdle
 	if restorePin {
 		m.s.SetPinnedOn(m.current.AlwaysOnSet())
@@ -875,6 +914,9 @@ func (m *Manager) scheduleRetry() {
 			return
 		}
 		m.met.Retries++
+		if rt := m.opts.Metrics; rt != nil {
+			rt.Retries.Inc()
+		}
 		m.opts.Events.Emit(m.s.Now(), "lifecycle", "retry", -1, -1, -1, float64(m.consecFail))
 		m.launch()
 	})
@@ -906,6 +948,9 @@ func (m *Manager) StageAndSwap(p *response.Plan) error {
 		return fmt.Errorf("lifecycle: nil plan")
 	}
 	m.met.Replans++
+	if rt := m.opts.Metrics; rt != nil {
+		rt.Replans.Inc()
+	}
 	m.buildLive()
 	m.trigger = m.live.Clone()
 	m.gateAndSwap(p)
@@ -925,6 +970,9 @@ func (m *Manager) gateAndSwap(p *response.Plan) {
 		// Recomputation confirmed the installed tables: adopt the
 		// fresher baseline, deploy nothing.
 		m.met.Unchanged++
+		if rt := m.opts.Metrics; rt != nil {
+			rt.Unchanged.Inc()
+		}
 		m.adoptBaseline()
 		m.opts.Events.Emit(now, "lifecycle", "unchanged", -1, -1, -1, 0)
 		m.cycleSucceeded(true)
@@ -959,6 +1007,9 @@ func (m *Manager) gateAndSwap(p *response.Plan) {
 			// it computes valid plans: the cycle counts as a success
 			// (a degraded manager recovers to the installed plan).
 			m.met.RejectedPower++
+			if rt := m.opts.Metrics; rt != nil {
+				rt.RejectedPower.Inc()
+			}
 			m.adoptBaseline()
 			m.opts.Events.Emit(now, "lifecycle", "reject-power", -1, -1, -1, cand.Watts-cur.Watts)
 			m.cycleSucceeded(true)
@@ -983,6 +1034,10 @@ type pairDecision struct {
 func (m *Manager) beginSwap(p *response.Plan) {
 	m.state = StateSwapping
 	m.met.Swaps++
+	m.swapStartAt = m.s.Now()
+	if rt := m.opts.Metrics; rt != nil {
+		rt.Swaps.Inc()
+	}
 	m.opts.Events.Emit(m.s.Now(), "lifecycle", "swap", -1, -1, -1, 0)
 	m.s.SetPinnedOn(p.AlwaysOnSet())
 	decisions := make(map[[2]topo.NodeID]pairDecision)
@@ -1042,6 +1097,11 @@ func (m *Manager) flowRetired(old, new *sim.Flow) {
 func (m *Manager) swapDone() {
 	m.state = StateIdle
 	m.met.SwapsDone++
+	if rt := m.opts.Metrics; rt != nil {
+		rt.SwapsDone.Inc()
+		rt.MigratedFlows.Add(uint64(m.lastMigrated))
+		rt.SwapDurationSec.Add(m.s.Now() - m.swapStartAt)
+	}
 	m.opts.Events.Emit(m.s.Now(), "lifecycle", "swap-done", -1, -1, -1, float64(m.lastMigrated))
 }
 

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"response/internal/criticality"
 	"response/internal/power"
 	"response/internal/spf"
 	"response/internal/topo"
@@ -259,7 +260,10 @@ func (s *subsetSearch) repair(hint *topo.ActiveSet, ws *spf.Workspace) (*Routing
 // link→demand incidence of the routing: a link is critical when it
 // carries demands that themselves depend on critical links, seeded and
 // reweighted by link utilization (the slack term). Low scores mark
-// links the warm descent should try to switch off first.
+// links the warm descent should try to switch off first. The HITS
+// kernel lives in internal/criticality (shared with the trace store's
+// online critical-path query) and preserves this call site's exact
+// float-operation order — plan fingerprints pin it.
 func criticalityScores(t *topo.Topology, sorted []traffic.Demand, r *Routing, maxUtil float64) []float64 {
 	util := make([]float64, t.NumLinks())
 	for _, l := range t.Links() {
@@ -269,51 +273,16 @@ func criticalityScores(t *topo.Topology, sorted []traffic.Demand, r *Routing, ma
 		}
 		util[l.ID] = u
 	}
-	h := append([]float64(nil), util...)
-	normalizeMax(h)
-	auth := make([]float64, len(sorted))
-	hub := make([]float64, len(util))
-	for iter := 0; iter < 4; iter++ {
-		clear(auth)
-		for i, d := range sorted {
-			p, ok := r.Paths[[2]topo.NodeID{d.O, d.D}]
-			if !ok {
-				continue
-			}
-			for _, aid := range p.Arcs {
-				auth[i] += h[t.Arc(aid).Link]
-			}
+	return criticality.Scores(util, len(sorted), func(i int, yield func(link int)) {
+		d := sorted[i]
+		p, ok := r.Paths[[2]topo.NodeID{d.O, d.D}]
+		if !ok {
+			return
 		}
-		clear(hub)
-		for i, d := range sorted {
-			p, ok := r.Paths[[2]topo.NodeID{d.O, d.D}]
-			if !ok {
-				continue
-			}
-			for _, aid := range p.Arcs {
-				hub[t.Arc(aid).Link] += auth[i]
-			}
+		for _, aid := range p.Arcs {
+			yield(int(t.Arc(aid).Link))
 		}
-		for l := range h {
-			h[l] = util[l] * hub[l]
-		}
-		normalizeMax(h)
-	}
-	return h
-}
-
-func normalizeMax(v []float64) {
-	var mx float64
-	for _, x := range v {
-		if x > mx {
-			mx = x
-		}
-	}
-	if mx > 0 {
-		for i := range v {
-			v[i] /= mx
-		}
-	}
+	}, 4)
 }
 
 // hopelessLinks flags switch-off candidates that can never be accepted

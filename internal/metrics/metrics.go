@@ -1,0 +1,105 @@
+// Package metrics provides the runtime's zero-allocation observability
+// counters and a Prometheus text-format renderer over them.
+//
+// A Runtime is one tenant's bundle of counters, threaded through
+// scenario.Config into the TE controller, the simulator and the
+// lifecycle manager exactly like the *trace.EventWriter flight
+// recorder: every hot-path hook is a nil check plus an atomic add, so
+// instrumentation never allocates and the steady-state allocs/op
+// pinned by the te/sim benchmarks are unchanged whether metrics are on
+// or off.
+//
+// Counter, FloatCounter and Gauge are plain atomics — safe to read
+// from the /metrics scrape goroutine while the owning loop keeps
+// writing. Rendering (WritePrometheus) walks a static descriptor table
+// metric-major so every sample family gets one HELP/TYPE header and
+// one labeled sample per tenant, in registration order.
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// FloatCounter is a monotonically increasing float64 (seconds of swap
+// time, wake latency, …), updated with a CAS loop.
+type FloatCounter struct{ bits atomic.Uint64 }
+
+// Add adds v.
+func (c *FloatCounter) Add(v float64) {
+	for {
+		old := c.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current sum.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a last-write-wins float64.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Runtime is one control loop's counter bundle. All fields are safe
+// for concurrent use; a nil *Runtime is a valid "metrics off" sink —
+// instrumented code checks the pointer once and skips the adds.
+type Runtime struct {
+	// TE controller (span "te").
+	ProbeRounds  Counter // full probe sweeps over managed flows
+	Shifts       Counter // always-on shift-up/down decisions
+	WakeRequests Counter // on-demand level wake requests
+	Evacuations  Counter // flows moved off a failed or overloaded link
+	Retargets    Counter // pending wake retargeted mid-flight
+	Handoffs     Counter // demand handed to a woken level
+	Retires      Counter // drained levels retired
+
+	// Simulator (span "sim").
+	LinkFailures   Counter      // FailLink transitions
+	LinkRepairs    Counter      // RepairLink transitions
+	LinkSleeps     Counter      // idle links entering Sleeping
+	LinkWakes      Counter      // sleeping links starting to wake
+	WakeLatencySec FloatCounter // summed sleep→forwarding latency
+	AllocEpochs    Counter      // incremental allocator passes
+	AllocFlows     Counter      // flows touched across allocator passes
+
+	// Lifecycle manager (span "lifecycle").
+	Checks          Counter      // deviation checks
+	Triggers        Counter      // trigger policy firings
+	Replans         Counter      // replan attempts started
+	ReplanFailed    Counter      // failed cycles (error/timeout/panic/reject)
+	ReplanTimeouts  Counter      // ... of which blew the deadline
+	ReplanPanics    Counter      // ... of which panicked
+	RejectedInvalid Counter      // staged plans failing validation
+	RejectedPower   Counter      // staged plans failing the power gate
+	Unchanged       Counter      // replans fingerprint-equal to live
+	Superseded      Counter      // stale results discarded after a swap
+	Retries         Counter      // backoff retries scheduled
+	Swaps           Counter      // hot swaps begun
+	SwapsDone       Counter      // hot swaps completed
+	MigratedFlows   Counter      // flows handed over across all swaps
+	SwapDurationSec FloatCounter // summed sim-time swap→swap-done
+	DegradedEntered Counter      // entries into the pinned all-on state
+	DegradedExited  Counter      // recoveries out of it
+	DegradedSec     FloatCounter // summed sim time spent degraded
+	SimSeconds      Gauge        // sim clock at the last lifecycle check
+}

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCountersZeroAlloc: the increment path must not allocate — these
+// sit on the te/sim hot paths whose allocs/op are pinned by benchmarks.
+func TestCountersZeroAlloc(t *testing.T) {
+	var r Runtime
+	avg := testing.AllocsPerRun(1000, func() {
+		r.Shifts.Inc()
+		r.MigratedFlows.Add(3)
+		r.SwapDurationSec.Add(0.25)
+		r.SimSeconds.Set(123.5)
+	})
+	if avg != 0 {
+		t.Errorf("counter ops allocate %.2f per run, want 0", avg)
+	}
+}
+
+// TestFloatCounterConcurrent: the CAS loop must not lose adds.
+func TestFloatCounterConcurrent(t *testing.T) {
+	var c FloatCounter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 4000 {
+		t.Errorf("FloatCounter = %g, want 4000", got)
+	}
+}
+
+// TestWritePrometheus: exposition format shape — HELP/TYPE per family,
+// tenant labels, escaping, nil runtimes skipped.
+func TestWritePrometheus(t *testing.T) {
+	a, b := &Runtime{}, &Runtime{}
+	a.Evacuations.Add(7)
+	b.Evacuations.Add(2)
+	a.SwapDurationSec.Add(1.5)
+	a.SimSeconds.Set(3600)
+
+	var buf bytes.Buffer
+	err := WritePrometheus(&buf, []Labeled{
+		{Tenant: "edge1", Runtime: a},
+		{Tenant: `we"ird`, Runtime: b},
+		{Tenant: "gone", Runtime: nil},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP response_te_evacuations_total ",
+		"# TYPE response_te_evacuations_total counter",
+		`response_te_evacuations_total{tenant="edge1"} 7`,
+		`response_te_evacuations_total{tenant="we\"ird"} 2`,
+		`response_lifecycle_swap_duration_seconds_total{tenant="edge1"} 1.5`,
+		"# TYPE response_lifecycle_sim_seconds gauge",
+		`response_lifecycle_sim_seconds{tenant="edge1"} 3600`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if strings.Contains(out, "gone") {
+		t.Error("nil runtime rendered")
+	}
+
+	// Unlabeled rendering (single-process tools).
+	buf.Reset()
+	if err := WritePrometheus(&buf, []Labeled{{Runtime: a}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "response_te_evacuations_total 7\n") {
+		t.Error("unlabeled sample missing")
+	}
+
+	// Every family header appears exactly once.
+	for _, d := range descriptors {
+		if n := strings.Count(out, "# TYPE "+d.name+" "); n != 1 {
+			t.Errorf("family %s has %d TYPE lines, want 1", d.name, n)
+		}
+	}
+}

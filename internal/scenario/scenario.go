@@ -24,6 +24,7 @@ import (
 	"response/internal/faultinject"
 	"response/internal/lifecycle"
 	"response/internal/mcf"
+	"response/internal/metrics"
 	"response/internal/power"
 	"response/internal/sim"
 	"response/internal/te"
@@ -116,8 +117,12 @@ type Config struct {
 	ObliviousReplan bool
 
 	// Events, when non-nil, receives the opt-in JSONL event trace of
-	// controller decisions and lifecycle transitions.
+	// controller decisions, simulator link transitions, lifecycle
+	// transitions and chaos injections.
 	Events *trace.EventWriter
+	// Metrics, when non-nil, receives zero-alloc observability counters
+	// from the same subsystems — the /metrics Prometheus feed.
+	Metrics *metrics.Runtime
 
 	// Period is the controller probe period (default 60 s — at replay
 	// scale, probing at the paper's max-RTT period would dominate the
@@ -450,12 +455,14 @@ func NewDiurnal(g *topo.Topology, endpoints []topo.NodeID, cfg Config) (*Replay,
 		SleepAfterIdle: 60,
 		PinnedOn:       tables.AlwaysOnSet,
 		FullAllocate:   cfg.FullAllocate,
+		Events:         cfg.Events,
+		Metrics:        cfg.Metrics,
 	}
 	if cfg.Power {
 		simOpts.Model = model
 	}
 	s := sim.New(g, simOpts)
-	ctrl := te.NewController(s, te.Opts{Threshold: 0.9, Gamma: 0.5, Period: cfg.Period, Events: cfg.Events})
+	ctrl := te.NewController(s, te.Opts{Threshold: 0.9, Gamma: 0.5, Period: cfg.Period, Events: cfg.Events, Metrics: cfg.Metrics})
 
 	r := &Replay{Topo: g, Sim: s, Ctrl: ctrl, cfg: cfg}
 	demands := peak.Demands()
@@ -564,6 +571,7 @@ func NewDiurnal(g *topo.Topology, endpoints []topo.NodeID, cfg Config) (*Replay,
 			Seed:           cfg.Seed,
 			Model:          model,
 			Events:         cfg.Events,
+			Metrics:        cfg.Metrics,
 			OnSwap:         r.flowSwapped,
 		}
 		if cfg.Faults.Any() {
@@ -746,7 +754,7 @@ func (r *Replay) cascadeRound() {
 		}
 		r.failLink(l)
 		r.cascaded++
-		r.cfg.Events.Emit(r.Sim.Now(), "chaos", "cascade", -1, -1, int(l), r.cfg.CascadeProb)
+		r.cfg.Events.EmitLink(r.Sim.Now(), "chaos", "cascade", int(l), r.cfg.CascadeProb)
 		if r.cfg.RepairEvery > 0 {
 			at := r.Sim.Now() + r.cfg.RepairAfter + float64(idx)*r.cfg.RepairEvery
 			lk := l

@@ -135,6 +135,10 @@ func (s *Simulator) allocate() {
 	// so the incremental and full modes solve identical sequences.
 	slices.Sort(w.queue)
 	slices.Sort(w.compArcs)
+	if m := s.opts.Metrics; m != nil {
+		m.AllocEpochs.Inc()
+		m.AllocFlows.Add(uint64(len(w.queue)))
+	}
 
 	// 2. Build the offered subflow set; wake-on-arrival for offered
 	// traffic whose path is asleep (the subflow starts once the wake

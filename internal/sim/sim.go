@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"math"
 
+	"response/internal/metrics"
 	"response/internal/power"
 	"response/internal/topo"
+	"response/internal/trace"
 )
 
 // LinkPhase is the power state of a physical link.
@@ -59,6 +61,16 @@ type Opts struct {
 	// at scale; kept (like mcf's FullReroute) so tests can cross-check
 	// the incremental allocator against the textbook solve.
 	FullAllocate bool
+	// Events, when non-nil, receives link phase transitions (span
+	// "sim": fail/repair/sleep/wake) as JSONL events — the link-actor
+	// half of the flight recorder; fail events carry the link's
+	// utilization at failure time as val, the seed of the trace
+	// store's critical-path scoring. Nil-safe, like all EventWriter
+	// sinks.
+	Events *trace.EventWriter
+	// Metrics, when non-nil, receives zero-alloc counter increments
+	// for link transitions and allocator passes.
+	Metrics *metrics.Runtime
 }
 
 func (o *Opts) defaults() {
@@ -355,6 +367,11 @@ func (s *Simulator) wakeLink(l topo.LinkID) float64 {
 		s.wakeAt[l] = done
 		id := l
 		s.Schedule(done, func() { s.completeWake(id) })
+		s.opts.Events.EmitLink(s.now, "sim", "wake", int(l), s.opts.WakeUpDelay)
+		if m := s.opts.Metrics; m != nil {
+			m.LinkWakes.Inc()
+			m.WakeLatencySec.Add(s.opts.WakeUpDelay)
+		}
 		return done
 	case LinkWaking:
 		// A wake is already in flight: it completes at the recorded
@@ -381,6 +398,19 @@ func (s *Simulator) FailLink(l topo.LinkID) {
 	if s.phase[l] == LinkFailed {
 		return
 	}
+	if s.opts.Events != nil || s.opts.Metrics != nil {
+		// Utilization at the instant of failure — the seed weight of
+		// the trace store's energy-critical-path scoring.
+		lk := s.T.Link(l)
+		util := s.ArcUtil(lk.AB)
+		if v := s.ArcUtil(lk.BA); v > util {
+			util = v
+		}
+		s.opts.Events.EmitLink(s.now, "sim", "fail", int(l), util)
+		if m := s.opts.Metrics; m != nil {
+			m.LinkFailures.Inc()
+		}
+	}
 	s.wakeAt[l] = 0
 	s.setLinkPhase(l, LinkFailed)
 	s.markDirtyPower()
@@ -401,6 +431,10 @@ func (s *Simulator) RepairLink(l topo.LinkID) {
 	s.setLinkPhase(l, LinkActive)
 	s.markDirtyPower()
 	s.scheduleSleepCheck(l, s.now+s.opts.SleepAfterIdle)
+	s.opts.Events.EmitLink(s.now, "sim", "repair", int(l), 0)
+	if m := s.opts.Metrics; m != nil {
+		m.LinkRepairs.Inc()
+	}
 }
 
 // OnLinkFail registers a handler invoked (after detection and
@@ -499,6 +533,10 @@ func (s *Simulator) sleepCheck(l topo.LinkID) {
 	if s.now-s.lastBusy[l] >= s.opts.SleepAfterIdle-1e-9 {
 		s.setLinkPhase(l, LinkSleeping)
 		s.markDirtyPower()
+		s.opts.Events.EmitLink(s.now, "sim", "sleep", int(l), s.now-s.lastBusy[l])
+		if m := s.opts.Metrics; m != nil {
+			m.LinkSleeps.Inc()
+		}
 	} else {
 		// Went busy and idle again since this check was booked.
 		s.scheduleSleepCheck(l, s.lastBusy[l]+s.opts.SleepAfterIdle)

@@ -21,6 +21,7 @@ package te
 import (
 	"math"
 
+	"response/internal/metrics"
 	"response/internal/sim"
 	"response/internal/topo"
 	"response/internal/trace"
@@ -48,6 +49,10 @@ type Opts struct {
 	// action (probe rounds, shifts, wakes, evacuations, retargets). Off
 	// by default; when off the only cost is a nil check per action.
 	Events *trace.EventWriter
+	// Metrics, when non-nil, receives zero-alloc counter increments
+	// mirroring the event stream (probe rounds, shifts, wake requests,
+	// evacuations, retargets/handoffs/retires).
+	Metrics *metrics.Runtime
 }
 
 func (o *Opts) defaults(t *topo.Topology) {
@@ -145,6 +150,16 @@ func (c *Controller) Fingerprint() uint64 { return c.fp }
 // quantized to nanoshares so the incremental and full-allocation
 // reference modes fingerprint identically.
 func (c *Controller) record(op int, flow, from, to int, frac float64) {
+	c.recordLink(op, flow, from, to, -1, frac)
+}
+
+// recordLink is record with a causing link attached to the emitted
+// event (failure evacuations name the link that died). The link is
+// deliberately NOT folded into the behavioral fingerprint — the
+// fingerprint's five-word schema is pinned by cross-mode identity
+// tests — it only enriches the JSONL trace for the trace store's
+// event→link incidence.
+func (c *Controller) recordLink(op int, flow, from, to, link int, frac float64) {
 	h := c.fp
 	for _, x := range [5]uint64{
 		uint64(op), uint64(flow), uint64(from + 1), uint64(to + 1),
@@ -154,7 +169,23 @@ func (c *Controller) record(op int, flow, from, to int, frac float64) {
 		h *= fnvPrime
 	}
 	c.fp = h
-	c.opts.Events.Emit(c.s.Now(), "te", opNames[op], flow, from, to, frac)
+	c.opts.Events.EmitFlowLink(c.s.Now(), "te", opNames[op], flow, from, to, link, frac)
+	if m := c.opts.Metrics; m != nil {
+		switch op {
+		case opShift:
+			m.Shifts.Inc()
+		case opWake:
+			m.WakeRequests.Inc()
+		case opEvacuate:
+			m.Evacuations.Inc()
+		case opRetarget:
+			m.Retargets.Inc()
+		case opHandoff:
+			m.Handoffs.Inc()
+		case opRetire:
+			m.Retires.Inc()
+		}
+	}
 }
 
 // Manage registers a flow with the controller. The flow's Paths must be
@@ -216,6 +247,9 @@ func (c *Controller) probeAll() {
 			probed += len(c.wheel.groups[gi].slots)
 		}
 		c.opts.Events.Emit(c.s.Now(), "te", "probe", -1, -1, -1, float64(probed))
+	}
+	if m := c.opts.Metrics; m != nil {
+		m.ProbeRounds.Inc()
 	}
 	for gi := range c.wheel.groups {
 		g := &c.wheel.groups[gi]
@@ -281,7 +315,7 @@ func (c *Controller) decide(f *sim.Flow, utils []float64) {
 	// Failed primary: evacuate entirely (normally the failure handler
 	// already did this; probes are the backstop).
 	if c.s.PathPhase(f.Paths[primary]) == sim.LinkFailed {
-		c.evacuate(f, primary)
+		c.evacuate(f, primary, -1)
 		return
 	}
 
@@ -405,7 +439,7 @@ func (c *Controller) onFailure(_ float64, l topo.LinkID) {
 		if f.ShareOf(lvl) <= 1e-9 {
 			return
 		}
-		c.evacuate(f, lvl)
+		c.evacuate(f, lvl, int(l))
 	})
 }
 
@@ -413,7 +447,10 @@ func (c *Controller) onFailure(_ float64, l topo.LinkID) {
 // pending mark guards the wake-then-shift window: the failure handler
 // and the probe backstop may both observe the failed level before the
 // first evacuation's wake completes, and only one move may be booked.
-func (c *Controller) evacuate(f *sim.Flow, lvl int) {
+// cause is the failed link that triggered the evacuation (tagged onto
+// the trace events), or -1 from the probe backstop, which only knows
+// the path died.
+func (c *Controller) evacuate(f *sim.Flow, lvl int, cause int) {
 	slot, managed := c.slot[f.ID]
 	if !managed {
 		return
@@ -445,14 +482,14 @@ func (c *Controller) evacuate(f *sim.Flow, lvl int) {
 	if c.s.PathPhase(p) == sim.LinkActive {
 		c.s.ShiftShare(f, lvl, target, sh)
 		c.Shifts++
-		c.record(opEvacuate, f.ID, lvl, target, sh)
+		c.recordLink(opEvacuate, f.ID, lvl, target, cause, sh)
 		return
 	}
 	c.pendingEvac[slot] |= bit
 	c.pendingEvacs++
 	ready := c.s.RequestWake(p)
 	c.Wakes++
-	c.record(opWake, f.ID, lvl, target, sh)
+	c.recordLink(opWake, f.ID, lvl, target, cause, sh)
 	c.s.Schedule(ready, func() {
 		c.pendingEvac[slot] &^= bit // allow the backstop to retry if this move dies
 		c.pendingEvacs--
@@ -460,7 +497,7 @@ func (c *Controller) evacuate(f *sim.Flow, lvl int) {
 			moved := f.ShareOf(lvl)
 			c.s.ShiftShare(f, lvl, target, moved)
 			c.Shifts++
-			c.record(opEvacuate, f.ID, lvl, target, moved)
+			c.recordLink(opEvacuate, f.ID, lvl, target, cause, moved)
 		}
 	})
 }

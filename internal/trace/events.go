@@ -19,13 +19,17 @@ import (
 //
 // The fixed schema per line is
 //
-//	{"ts":12.5,"span":"te","op":"shift","flow":7,"from":0,"to":1,"val":0.25}
+//	{"ts":12.5,"span":"te","op":"shift","flow":7,"from":0,"to":1,"link":4,"val":0.25}
 //
 // where ts is simulation seconds, span names the emitting subsystem
-// ("te", "lifecycle"), op the action, and flow/from/to identify the
-// actors (omitted when negative: lifecycle transitions carry no flow;
-// val holds the action's magnitude — shifted share fraction, deviation
-// spread, migrated-flow count — and is always present).
+// ("te", "sim", "lifecycle", "chaos"), op the action, flow/from/to
+// identify the actors and link the affected physical link (each field
+// omitted when negative: lifecycle transitions carry no flow, TE
+// shifts no link; val holds the action's magnitude — shifted share
+// fraction, link utilization at failure, wake latency, migrated-flow
+// count — and is always present). The link field is what lets the
+// trace store (response/tracestore) rebuild the event→link incidence
+// for energy-critical-path scoring.
 type EventWriter struct {
 	w      io.Writer
 	buf    []byte
@@ -42,6 +46,21 @@ func NewEventWriter(w io.Writer) *EventWriter {
 // callers hold a possibly-nil *EventWriter and call unconditionally.
 // After a write error the writer goes quiet; check Err.
 func (e *EventWriter) Emit(ts float64, span, op string, flow, from, to int, val float64) {
+	e.EmitFlowLink(ts, span, op, flow, from, to, -1, val)
+}
+
+// EmitLink writes one event line about a physical link with no flow
+// actor — link failures, repairs, sleep and wake transitions. Same
+// nil-receiver and error semantics as Emit.
+func (e *EventWriter) EmitLink(ts float64, span, op string, link int, val float64) {
+	e.EmitFlowLink(ts, span, op, -1, -1, -1, link, val)
+}
+
+// EmitFlowLink is the full-schema emitter: flow/from/to actors plus
+// the affected link, each omitted when negative. Emit and EmitLink are
+// shorthands over it; all three share the one allocation-free render
+// path. Same nil-receiver and error semantics as Emit.
+func (e *EventWriter) EmitFlowLink(ts float64, span, op string, flow, from, to, link int, val float64) {
 	if e == nil || e.err != nil {
 		return
 	}
@@ -64,6 +83,10 @@ func (e *EventWriter) Emit(ts float64, span, op string, flow, from, to int, val 
 	if to >= 0 {
 		b = append(b, `,"to":`...)
 		b = strconv.AppendInt(b, int64(to), 10)
+	}
+	if link >= 0 {
+		b = append(b, `,"link":`...)
+		b = strconv.AppendInt(b, int64(link), 10)
 	}
 	b = append(b, `,"val":`...)
 	b = strconv.AppendFloat(b, val, 'g', -1, 64)

@@ -73,6 +73,53 @@ func TestEventWriterZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestEventWriterLinkField: EmitLink/EmitFlowLink carry the link field
+// after the actors, omit it when negative, and stay zero-alloc.
+func TestEventWriterLinkField(t *testing.T) {
+	var buf bytes.Buffer
+	ew := NewEventWriter(&buf)
+	ew.EmitLink(3.5, "sim", "fail", 12, 0.8)
+	ew.EmitFlowLink(4.0, "te", "evacuate", 7, 2, 1, 12, 0.5)
+	ew.Emit(5.0, "te", "shift", 7, 0, 1, 0.25)
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3: %q", len(lines), buf.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if first["link"] != 12.0 || first["span"] != "sim" || first["val"] != 0.8 {
+		t.Errorf("line 1 = %v", first)
+	}
+	if _, ok := first["flow"]; ok {
+		t.Error("link-only event carries a flow field")
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatalf("line 2 not JSON: %v", err)
+	}
+	if second["flow"] != 7.0 || second["link"] != 12.0 {
+		t.Errorf("line 2 = %v", second)
+	}
+	var third map[string]any
+	if err := json.Unmarshal([]byte(lines[2]), &third); err != nil {
+		t.Fatalf("line 3 not JSON: %v", err)
+	}
+	if _, ok := third["link"]; ok {
+		t.Error("Emit grew a link field; plain schema must be unchanged")
+	}
+
+	ew2 := NewEventWriter(io.Discard)
+	ew2.EmitFlowLink(0, "te", "evacuate", 1, 0, 1, 2, 0.5) // warm the buffer
+	avg := testing.AllocsPerRun(1000, func() {
+		ew2.EmitFlowLink(123.456, "te", "evacuate", 99999, 2, 3, 17, 0.123456789)
+	})
+	if avg != 0 {
+		t.Errorf("EmitFlowLink allocates %.2f per op in steady state, want 0", avg)
+	}
+}
+
 type failWriter struct{ n int }
 
 func (w *failWriter) Write(p []byte) (int, error) {

@@ -1,6 +1,17 @@
-// Package trace serializes traffic-matrix series and figure data to
-// CSV so experiments can be exported, replayed and diffed — the
+// Package trace is the runtime's serialization layer for everything
+// observable: offline datasets and the online flight recorder.
+//
+// The CSV half (this file) serializes traffic-matrix series and figure
+// data so experiments can be exported, replayed and diffed — the
 // stand-in for the GÉANT TOTEM dataset's interchange role.
+//
+// The JSONL half (events.go) is the EventWriter flight recorder: an
+// allocation-free, nil-safe structured event stream that the TE
+// controller, simulator, lifecycle manager and chaos scenarios emit
+// into — one self-contained JSON object per line with jaeger-style
+// span/op fields and optional flow/link actors. Recorded streams are
+// replayed by `response-analyze trace` and ingested live by
+// response/tracestore for progressive-disclosure incident queries.
 package trace
 
 import (

@@ -1,0 +1,161 @@
+package tracestore
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"response/internal/metrics"
+	"response/internal/scenario"
+	"response/internal/trace"
+)
+
+// The acceptance path end to end: trace an SRLG-storm scenario (the
+// chaos preset — srlgstorm plus a fault-injected control plane, so
+// degraded transitions appear too), ingest the JSONL stream, and
+// require (a) the storm window surfaces as critical in tier-1 search,
+// (b) the tier-3 critical path ranks the cut links at the top, and
+// (c) /metrics agrees with the store's own event counts.
+func TestE2ESRLGStormTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e scenario run in -short mode")
+	}
+	var buf bytes.Buffer
+	rt := &metrics.Runtime{}
+	cfg := scenario.Config{
+		Seed:     42,
+		Flows:    200,
+		Duration: 4 * 3600,
+		StepSec:  900,
+		Events:   trace.NewEventWriter(&buf),
+		Metrics:  rt,
+	}
+	res, err := scenario.Run("chaos", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed == 0 {
+		t.Fatal("storm cut no links; nothing to diagnose")
+	}
+
+	s := New(Opts{WindowSec: cfg.StepSec})
+	added, skipped, err := s.Ingest(&buf)
+	if err != nil || skipped != 0 {
+		t.Fatalf("Ingest: added %d skipped %d err %v", added, skipped, err)
+	}
+	if added == 0 {
+		t.Fatal("scenario emitted no events")
+	}
+
+	// Tier 1: the storm window (StormAt = Duration/3 = 4800) must be
+	// critical.
+	stormAt := cfg.Duration / 3
+	crit := s.Windows(WindowQuery{MinSeverity: SevCritical})
+	if len(crit) == 0 {
+		t.Fatal("no critical windows after an SRLG storm")
+	}
+	var stormWin *WindowSummary
+	for i := range crit {
+		if crit[i].Start <= stormAt && stormAt < crit[i].End {
+			stormWin = &crit[i]
+		}
+	}
+	if stormWin == nil {
+		t.Fatalf("storm instant %.0f not inside any critical window: %+v", stormAt, crit)
+	}
+	if stormWin.Failures == 0 || stormWin.Evacuations == 0 {
+		t.Errorf("storm window counts %+v, want failures and evacuations", stormWin)
+	}
+
+	// The links actually cut in the incident window, per the trace.
+	cut := map[int]bool{}
+	for _, e := range s.Events(EventQuery{
+		Span: "sim", Op: "fail",
+		Since: stormWin.Start, Until: stormWin.End, Limit: 10000,
+	}) {
+		if e.Link >= 0 {
+			cut[e.Link] = true
+		}
+	}
+	if len(cut) == 0 {
+		t.Fatal("no sim fail events carry a link id")
+	}
+
+	// Tier 3: the critical path ranks the cut links at the top.
+	cp := s.CriticalPathQuery("", stormAt, 64)
+	if len(cp.Links) == 0 {
+		t.Fatal("critical path empty for the storm window")
+	}
+	if !cut[cp.Links[0].Link] {
+		t.Errorf("top-ranked link %d is not one of the %d cut links", cp.Links[0].Link, len(cut))
+	}
+	topCut := 0
+	for _, ls := range cp.Links[:min(len(cut), len(cp.Links))] {
+		if cut[ls.Link] {
+			topCut++
+		}
+	}
+	if topCut*2 < len(cut) {
+		t.Errorf("only %d of the top %d ranks are cut links (%d cut total)", topCut, len(cut), len(cut))
+	}
+	ranked := map[int]bool{}
+	for _, ls := range cp.Links {
+		ranked[ls.Link] = true
+		if ls.Failures > 0 && ls.Seed < 0.5 {
+			t.Errorf("failed link %d seeded %g, below the evidence floor", ls.Link, ls.Seed)
+		}
+	}
+	for l := range cut {
+		if !ranked[l] {
+			t.Errorf("cut link %d missing from the ranking", l)
+		}
+	}
+
+	// Tier 2 drill-down of the same window names the cut links among
+	// the busiest.
+	det, ok := s.Summary("", stormAt)
+	if !ok {
+		t.Fatal("Summary of the storm window failed")
+	}
+	seen := map[int]bool{}
+	for _, ls := range det.Links {
+		seen[ls.Link] = true
+	}
+	for l := range cut {
+		if !seen[l] {
+			t.Errorf("cut link %d missing from the window summary", l)
+		}
+	}
+
+	// /metrics agrees with the store: every traced evacuation, failure
+	// and degraded entry was also counted on the hot path.
+	countStore := func(span, op string) int {
+		return len(s.Events(EventQuery{Span: span, Op: op, Limit: 10000}))
+	}
+	if got, want := int(rt.Evacuations.Value()), countStore("te", "evacuate"); got != want {
+		t.Errorf("metrics evacuations %d, trace has %d", got, want)
+	}
+	if got, want := int(rt.LinkFailures.Value()), countStore("sim", "fail"); got != want {
+		t.Errorf("metrics link failures %d, trace has %d", got, want)
+	}
+	if got, want := int(rt.DegradedEntered.Value()), countStore("lifecycle", "degraded"); got != want {
+		t.Errorf("metrics degraded entries %d, trace has %d", got, want)
+	}
+	if rt.DegradedEntered.Value() == 0 {
+		t.Error("chaos preset never entered degraded; e2e lost its degraded coverage")
+	}
+	var prom bytes.Buffer
+	if err := metrics.WritePrometheus(&prom, []metrics.Labeled{{Tenant: "prod", Runtime: rt}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		fmt.Sprintf("response_te_evacuations_total{tenant=\"prod\"} %d\n", rt.Evacuations.Value()),
+		fmt.Sprintf("response_sim_link_failures_total{tenant=\"prod\"} %d\n", rt.LinkFailures.Value()),
+		fmt.Sprintf("response_lifecycle_degraded_entered_total{tenant=\"prod\"} %d\n", rt.DegradedEntered.Value()),
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("/metrics missing %q", strings.TrimSpace(want))
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package tracestore
+
+import (
+	"net/url"
+	"testing"
+)
+
+// FuzzIngestLine: no input line may panic the store or desync its
+// bookkeeping — every line is either accepted (ingested) or counted
+// skipped, and queries stay well-formed afterwards.
+func FuzzIngestLine(f *testing.F) {
+	f.Add([]byte(`{"ts":1,"span":"sim","op":"fail","link":3,"val":0.9}`))
+	f.Add([]byte(`{"tenant":"a","ts":2.5,"span":"te","op":"shift","flow":7,"from":0,"to":1,"val":0.25}`))
+	f.Add([]byte(`{"ts":`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"ts":-1e308,"span":"s","op":"o"}`))
+	f.Add([]byte(`{"ts":null,"span":"s","op":"o"}`))
+	f.Add([]byte(`{"ts":1,"span":"s","op":"o","flow":-2147483648}`))
+	s := New(Opts{MaxEvents: 1 << 10, MaxWindows: 16, WindowSec: 10})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		before := s.Stats()
+		ok := s.IngestLine(data)
+		after := s.Stats()
+		if ok && after.Ingested != before.Ingested+1 {
+			t.Fatalf("accepted line not counted: %+v -> %+v", before, after)
+		}
+		if !ok && after.Skipped != before.Skipped+1 {
+			t.Fatalf("rejected line not counted: %+v -> %+v", before, after)
+		}
+		if after.Events > (1 << 10) {
+			t.Fatalf("ring bound violated: %d events", after.Events)
+		}
+		// Queries over arbitrary state must not panic.
+		s.Windows(WindowQuery{Limit: 5})
+		s.Summary("", 0)
+		s.CriticalPathQuery("", 0, 5)
+		s.Events(EventQuery{Limit: 5})
+	})
+}
+
+// FuzzParseQuery: the REST query-parameter surface never panics and
+// either errors or returns in-range values.
+func FuzzParseQuery(f *testing.F) {
+	f.Add("tenant=a&since=100&until=200&severity=warn&limit=5")
+	f.Add("start=900&k=3")
+	f.Add("span=sim&op=fail&flow=4&link=9&limit=10000")
+	f.Add("since=NaN&limit=-1")
+	f.Add("severity=%00&start=1e999")
+	f.Fuzz(func(t *testing.T, raw string) {
+		v, err := url.ParseQuery(raw)
+		if err != nil {
+			return
+		}
+		if q, err := ParseWindowQuery(v); err == nil {
+			if q.Limit < 0 {
+				t.Fatalf("ParseWindowQuery accepted negative limit: %+v", q)
+			}
+			if q.Since != q.Since || q.Until != q.Until {
+				t.Fatalf("ParseWindowQuery accepted NaN bounds: %+v", q)
+			}
+		}
+		if q, err := ParseDrillQuery(v); err == nil {
+			if q.K < 0 || q.Start != q.Start {
+				t.Fatalf("ParseDrillQuery out of range: %+v", q)
+			}
+		}
+		if q, err := ParseEventQuery(v); err == nil {
+			if q.Limit < 0 {
+				t.Fatalf("ParseEventQuery accepted negative limit: %+v", q)
+			}
+		}
+	})
+}

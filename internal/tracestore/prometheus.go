@@ -1,0 +1,31 @@
+package tracestore
+
+import (
+	"fmt"
+	"io"
+)
+
+// WritePrometheus renders the store's bookkeeping counters in
+// Prometheus text exposition format (version 0.0.4), for appending to
+// a /metrics page alongside the runtime counter families.
+func (s *Store) WritePrometheus(w io.Writer) error {
+	st := s.Stats()
+	for _, m := range []struct {
+		name, help, typ string
+		val             int
+	}{
+		{"response_tracestore_retained_events", "Events currently retained in the ring.", "gauge", st.Events},
+		{"response_tracestore_ingested_total", "Events accepted since startup.", "counter", st.Ingested},
+		{"response_tracestore_skipped_total", "Corrupt or rejected lines dropped.", "counter", st.Skipped},
+		{"response_tracestore_evicted_total", "Events evicted by the ring bound.", "counter", st.Evicted},
+		{"response_tracestore_windows", "Live tier-1 search windows across tenants.", "gauge", st.Windows},
+		{"response_tracestore_windows_dropped_total", "Windows evicted by the per-tenant bound.", "counter", st.WindowsDropped},
+		{"response_tracestore_tenants", "Distinct tenant labels seen.", "gauge", st.Tenants},
+	} {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
+			m.name, m.help, m.name, m.typ, m.name, m.val); err != nil {
+			return err
+		}
+	}
+	return nil
+}

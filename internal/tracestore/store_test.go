@@ -1,0 +1,442 @@
+package tracestore
+
+import (
+	"fmt"
+	"math"
+	"net/url"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func ip(v int) *int { return &v }
+
+// line renders a minimal JSONL event the way trace.EventWriter does.
+func line(ts float64, span, op string, val float64) string {
+	return fmt.Sprintf(`{"ts":%g,"span":%q,"op":%q,"val":%g}`, ts, span, op, val)
+}
+
+func linkLine(ts float64, span, op string, link int, val float64) string {
+	return fmt.Sprintf(`{"ts":%g,"span":%q,"op":%q,"link":%d,"val":%g}`, ts, span, op, link, val)
+}
+
+func flowLine(ts float64, span, op string, flow, link int, val float64) string {
+	return fmt.Sprintf(`{"ts":%g,"span":%q,"op":%q,"flow":%d,"from":0,"to":1,"link":%d,"val":%g}`,
+		ts, span, op, flow, link, val)
+}
+
+func tenantLine(tenant string, ts float64, span, op string, val float64) string {
+	return fmt.Sprintf(`{"tenant":%q,"ts":%g,"span":%q,"op":%q,"val":%g}`, tenant, ts, span, op, val)
+}
+
+func ingestAll(t *testing.T, s *Store, lines ...string) {
+	t.Helper()
+	added, skipped, err := s.Ingest(strings.NewReader(strings.Join(lines, "\n")))
+	if err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if skipped != 0 || added != len(lines) {
+		t.Fatalf("Ingest: added %d skipped %d, want %d/0", added, skipped, len(lines))
+	}
+}
+
+// Corrupt, truncated, or schema-violating lines are counted and
+// skipped; valid neighbours still land.
+func TestIngestCorruptLines(t *testing.T) {
+	s := New(Opts{})
+	input := strings.Join([]string{
+		line(1, "sim", "fail", 0.9),
+		`{"ts":2,"span":"sim","op":"fail","val":`, // truncated mid-value
+		`not json at all`,
+		`{"span":"sim","op":"fail","val":1}`,     // missing ts
+		`{"ts":3,"op":"fail","val":1}`,           // missing span
+		`{"ts":4,"span":"sim","val":1}`,          // missing op
+		`{"ts":"soon","span":"sim","op":"fail"}`, // ts wrong type
+		`{"ts":1e999,"span":"sim","op":"fail"}`,  // ts overflows to +Inf
+		`[1,2,3]`,                                // not an object
+		line(5, "sim", "repair", 0),
+	}, "\n")
+	added, skipped, err := s.Ingest(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if added != 2 || skipped != 8 {
+		t.Errorf("added %d skipped %d, want 2/8", added, skipped)
+	}
+	st := s.Stats()
+	if st.Events != 2 || st.Ingested != 2 || st.Skipped != 8 {
+		t.Errorf("stats %+v, want events 2, ingested 2, skipped 8", st)
+	}
+	// A line over the 1 MiB bound kills the scanner but not the store.
+	big := `{"ts":6,"span":"` + strings.Repeat("x", 1<<21) + `","op":"y"}`
+	added, skipped, err = s.Ingest(strings.NewReader(line(5.5, "te", "probe", 0) + "\n" + big))
+	if err != nil {
+		t.Fatalf("oversized line must not surface an error, got %v", err)
+	}
+	if added != 1 || skipped != 1 {
+		t.Errorf("oversized: added %d skipped %d, want 1/1", added, skipped)
+	}
+	if got := s.Stats().Events; got != 3 {
+		t.Errorf("events after oversized line = %d, want 3", got)
+	}
+}
+
+// Out-of-order timestamps are placed by insertion: queries always see
+// a time-sorted ring, and equal timestamps keep arrival order.
+func TestIngestOutOfOrder(t *testing.T) {
+	s := New(Opts{})
+	ingestAll(t, s,
+		line(100, "sim", "fail", 1),
+		line(50, "sim", "fail", 2),
+		line(75, "sim", "fail", 3),
+		line(75, "sim", "repair", 4), // equal ts: lands after val 3
+		line(10, "sim", "fail", 5),
+		line(200, "sim", "fail", 6),
+	)
+	evs := s.Events(EventQuery{})
+	if len(evs) != 6 {
+		t.Fatalf("got %d events, want 6", len(evs))
+	}
+	var ts, vals []float64
+	for _, e := range evs {
+		ts = append(ts, e.TS)
+		vals = append(vals, e.Val)
+	}
+	if !sort.Float64sAreSorted(ts) {
+		t.Errorf("events not time-sorted: %v", ts)
+	}
+	want := []float64{5, 2, 3, 4, 1, 6}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("val order %v, want %v", vals, want)
+		}
+	}
+}
+
+// The ring evicts oldest-first at MaxEvents; the window index keeps
+// counting what the ring forgot.
+func TestRingEviction(t *testing.T) {
+	s := New(Opts{MaxEvents: 100, WindowSec: 100})
+	for i := 0; i < 250; i++ {
+		if !s.IngestLine([]byte(line(float64(i), "sim", "fail", 0))) {
+			t.Fatalf("event %d rejected", i)
+		}
+	}
+	st := s.Stats()
+	if st.Events != 100 || st.Evicted != 150 || st.Ingested != 250 {
+		t.Fatalf("stats %+v, want events 100, evicted 150, ingested 250", st)
+	}
+	evs := s.Events(EventQuery{Limit: 10000})
+	if len(evs) != 100 || evs[0].TS != 150 || evs[99].TS != 249 {
+		t.Errorf("retained [%g, %g] ×%d, want [150, 249] ×100", evs[0].TS, evs[len(evs)-1].TS, len(evs))
+	}
+	// Tier 1 still sees all 250 events across the window index.
+	total := 0
+	for _, w := range s.Windows(WindowQuery{}) {
+		total += w.Events
+	}
+	if total != 250 {
+		t.Errorf("window index counts %d events, want 250 (must survive ring eviction)", total)
+	}
+	// Tier 2 on the fully-evicted window [0,100) answers from nothing;
+	// the retained window [200,300) still drills down.
+	if _, ok := s.Summary("", 0); ok {
+		t.Error("Summary of fully-evicted window reported ok")
+	}
+	if det, ok := s.Summary("", 200); !ok || det.Window.Events != 50 {
+		t.Errorf("Summary of retained window: ok=%v %+v, want 50 events", ok, det.Window)
+	}
+}
+
+// Compaction keeps the dead prefix bounded without losing live events.
+func TestRingCompaction(t *testing.T) {
+	s := New(Opts{MaxEvents: 1000})
+	for i := 0; i < 20000; i++ {
+		s.IngestLine([]byte(line(float64(i), "sim", "fail", 0)))
+	}
+	if s.start > len(s.recs)/2 && s.start > 4096 {
+		t.Errorf("dead prefix %d of %d never compacted", s.start, len(s.recs))
+	}
+	evs := s.Events(EventQuery{Limit: 10000})
+	if len(evs) != 1000 || evs[0].TS != 19000 {
+		t.Errorf("after compaction: %d events from %g, want 1000 from 19000", len(evs), evs[0].TS)
+	}
+}
+
+// The per-tenant window index is bounded at MaxWindows, oldest dropped.
+func TestWindowEviction(t *testing.T) {
+	s := New(Opts{MaxWindows: 10, WindowSec: 100})
+	for i := 0; i < 25; i++ {
+		s.IngestLine([]byte(line(float64(i*100), "sim", "fail", 0)))
+	}
+	st := s.Stats()
+	if st.Windows != 10 || st.WindowsDropped != 15 {
+		t.Errorf("windows %d dropped %d, want 10/15", st.Windows, st.WindowsDropped)
+	}
+	wins := s.Windows(WindowQuery{})
+	if len(wins) != 10 || wins[0].Start != 1500 {
+		t.Errorf("oldest surviving window starts %g, want 1500", wins[0].Start)
+	}
+}
+
+// The 16-bit intern space overflows by skipping, not by growing.
+func TestInternOverflow(t *testing.T) {
+	s := New(Opts{})
+	rejected := 0
+	for i := 0; i < math.MaxUint16+100; i++ {
+		if !s.IngestLine([]byte(line(float64(i), fmt.Sprintf("span%d", i), "op", 0))) {
+			rejected++
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("interning never overflowed")
+	}
+	if st := s.Stats(); st.Skipped != rejected {
+		t.Errorf("skipped %d, want %d", st.Skipped, rejected)
+	}
+}
+
+func TestWindowsFilters(t *testing.T) {
+	s := New(Opts{WindowSec: 100})
+	ingestAll(t, s,
+		tenantLine("a", 10, "te", "probe", 0),            // a/[0,100): info
+		tenantLine("a", 110, "te", "evacuate", 0),        // a/[100,200): warn
+		tenantLine("a", 210, "sim", "fail", 0.8),         // a/[200,300): critical
+		tenantLine("b", 215, "lifecycle", "degraded", 0), // b/[200,300): critical
+	)
+	if got := len(s.Windows(WindowQuery{})); got != 4 {
+		t.Fatalf("unfiltered windows = %d, want 4", got)
+	}
+	if got := s.Windows(WindowQuery{Tenant: "a"}); len(got) != 3 {
+		t.Errorf("tenant a windows = %d, want 3", len(got))
+	}
+	crit := s.Windows(WindowQuery{MinSeverity: SevCritical})
+	if len(crit) != 2 {
+		t.Fatalf("critical windows = %d, want 2", len(crit))
+	}
+	for _, w := range crit {
+		if w.Severity != "critical" {
+			t.Errorf("window %s/%g severity %q", w.Tenant, w.Start, w.Severity)
+		}
+	}
+	warm := s.Windows(WindowQuery{MinSeverity: SevWarn, Tenant: "a"})
+	if len(warm) != 2 || warm[0].Start != 100 {
+		t.Errorf("warn+ tenant a = %+v, want starts 100, 200", warm)
+	}
+	ranged := s.Windows(WindowQuery{Since: 100, Until: 300})
+	if len(ranged) != 3 {
+		t.Errorf("ranged windows = %d, want 3", len(ranged))
+	}
+	if lim := s.Windows(WindowQuery{Limit: 2}); len(lim) != 2 || lim[1].Start != 200 {
+		t.Errorf("limit keeps most recent: got %+v", lim)
+	}
+}
+
+func TestSummaryAggregates(t *testing.T) {
+	s := New(Opts{WindowSec: 100})
+	ingestAll(t, s,
+		linkLine(10, "sim", "fail", 3, 0.9),
+		linkLine(11, "chaos", "cascade", 4, 0.5),
+		flowLine(12, "te", "evacuate", 7, 3, 1),
+		flowLine(13, "te", "shift", 8, 5, 0.25),
+		linkLine(14, "sim", "wake", 5, 2),
+		linkLine(15, "sim", "sleep", 6, 30),
+		line(16, "lifecycle", "swap", 0),
+		linkLine(150, "sim", "fail", 9, 0.7), // next window
+	)
+	det, ok := s.Summary("", 10)
+	if !ok {
+		t.Fatal("Summary !ok")
+	}
+	w := det.Window
+	if w.Start != 0 || w.End != 100 || w.Events != 7 {
+		t.Errorf("window %+v, want [0,100) with 7 events", w)
+	}
+	if w.Failures != 1 || w.Cascades != 1 || w.Evacuations != 1 || w.Shifts != 1 ||
+		w.LinkWakes != 1 || w.LinkSleeps != 1 || w.Swaps != 1 {
+		t.Errorf("window counts off: %+v", w)
+	}
+	if w.Severity != "critical" {
+		t.Errorf("severity %q, want critical", w.Severity)
+	}
+	if det.FlowsTouched != 2 {
+		t.Errorf("flows touched %d, want 2", det.FlowsTouched)
+	}
+	byLink := map[int]LinkSummary{}
+	for _, ls := range det.Links {
+		byLink[ls.Link] = ls
+	}
+	if len(byLink) != 4 {
+		t.Fatalf("links %v, want 4 distinct (3, 4, 5, 6)", det.Links)
+	}
+	if l3 := byLink[3]; l3.Events != 2 || l3.Failures != 1 || l3.Evacuations != 1 || l3.MaxUtil != 0.9 {
+		t.Errorf("link 3 summary %+v", l3)
+	}
+	if l4 := byLink[4]; l4.Failures != 1 || l4.MaxUtil != 0.5 {
+		t.Errorf("cascade on link 4 must count as failure: %+v", l4)
+	}
+	// Link 5 carries a te shift (events only) and a sim wake.
+	if l5 := byLink[5]; l5.Events != 2 || l5.Wakes != 1 {
+		t.Errorf("link 5 summary %+v, want 2 events 1 wake", l5)
+	}
+	if l6 := byLink[6]; l6.Sleeps != 1 {
+		t.Errorf("link 6 summary %+v, want 1 sleep", l6)
+	}
+	// Busiest link first, ties by id.
+	if det.Links[0].Link != 3 || det.Links[1].Link != 5 {
+		t.Errorf("link order %+v, want 3, 5 first", det.Links)
+	}
+	// Time addressed anywhere inside the window resolves to it.
+	det2, ok := s.Summary("", 99.9)
+	if !ok || det2.Window.Events != det.Window.Events {
+		t.Error("mid-window addressing broken")
+	}
+}
+
+// The critical path ranks the failed links above bystanders: failure
+// evidence floors the seed at 0.5 vs 0.05 for mere participants.
+func TestCriticalPathRanking(t *testing.T) {
+	s := New(Opts{WindowSec: 1000})
+	var lines []string
+	// Links 1 and 2 fail at high utilization; flows 10..14 evacuate off
+	// them, each landing on busy bystander links 20..24.
+	lines = append(lines,
+		linkLine(10, "sim", "fail", 1, 0.95),
+		linkLine(11, "sim", "fail", 2, 0.85),
+	)
+	for f := 10; f < 15; f++ {
+		lines = append(lines,
+			flowLine(12, "te", "evacuate", f, 1, 1),
+			flowLine(13, "te", "shift", f, 20+f-10, 0.5),
+			flowLine(14, "te", "shift", f, 20+f-10, 0.5),
+		)
+	}
+	ingestAll(t, s, lines...)
+	cp := s.CriticalPathQuery("", 0, 10)
+	if cp.Events != len(lines) {
+		t.Fatalf("cp.Events = %d, want %d", cp.Events, len(lines))
+	}
+	if len(cp.Links) < 3 {
+		t.Fatalf("ranked %d links, want ≥ 3", len(cp.Links))
+	}
+	if cp.Links[0].Link != 1 {
+		t.Errorf("top link %d, want 1 (failed at 0.95 and coupled to every evacuating flow)", cp.Links[0].Link)
+	}
+	rank := map[int]int{}
+	for i, ls := range cp.Links {
+		rank[ls.Link] = i + 1
+	}
+	if rank[2] == 0 {
+		t.Error("failed link 2 missing from ranking")
+	}
+	if cp.Links[0].Seed < 0.95 {
+		t.Errorf("failed link seed %g, want utilization 0.95", cp.Links[0].Seed)
+	}
+	// Scores are normalized and descending.
+	if cp.Links[0].Score != 1 {
+		t.Errorf("top score %g, want 1 after NormalizeMax", cp.Links[0].Score)
+	}
+	for i := 1; i < len(cp.Links); i++ {
+		if cp.Links[i].Score > cp.Links[i-1].Score {
+			t.Fatalf("scores not descending at %d", i)
+		}
+	}
+	// A failure with val 0 (no utilization recorded) still gets the
+	// evidence floor.
+	s2 := New(Opts{WindowSec: 1000})
+	ingestAll(t, s2, linkLine(1, "sim", "fail", 1, 0), linkLine(2, "te", "shift", 2, 0.5))
+	cp2 := s2.CriticalPathQuery("", 0, 10)
+	if cp2.Links[0].Link != 1 || cp2.Links[0].Seed != 0.5 {
+		t.Errorf("zero-util failure not floored: %+v", cp2.Links)
+	}
+	// Empty window: empty answer, no panic.
+	if cp3 := s.CriticalPathQuery("", 1e9, 10); len(cp3.Links) != 0 || cp3.Events != 0 {
+		t.Errorf("empty window returned %+v", cp3)
+	}
+}
+
+func TestEventsFilters(t *testing.T) {
+	s := New(Opts{})
+	ingestAll(t, s,
+		tenantLine("a", 1, "sim", "fail", 0.9),
+		tenantLine("b", 2, "sim", "fail", 0.8),
+		flowLine(3, "te", "evacuate", 7, 3, 1),
+		flowLine(4, "te", "shift", 8, 5, 0.25),
+		linkLine(5, "sim", "wake", 3, 2),
+	)
+	if got := s.Events(EventQuery{Tenant: "a"}); len(got) != 1 || got[0].Val != 0.9 {
+		t.Errorf("tenant filter: %+v", got)
+	}
+	if got := s.Events(EventQuery{Span: "te"}); len(got) != 2 {
+		t.Errorf("span filter: %+v", got)
+	}
+	if got := s.Events(EventQuery{Op: "evacuate"}); len(got) != 1 || got[0].Flow != 7 {
+		t.Errorf("op filter: %+v", got)
+	}
+	if got := s.Events(EventQuery{Link: ip(3)}); len(got) != 2 {
+		t.Errorf("link filter: %+v", got)
+	}
+	if got := s.Events(EventQuery{Flow: ip(8)}); len(got) != 1 || got[0].Op != "shift" {
+		t.Errorf("flow filter: %+v", got)
+	}
+	if got := s.Events(EventQuery{Span: "sim", Flow: ip(-1)}); len(got) != 3 {
+		t.Errorf("flow=-1 matches flow-less events: %+v", got)
+	}
+	if got := s.Events(EventQuery{Since: 2, Until: 4}); len(got) != 2 || got[0].TS != 2 {
+		t.Errorf("time range: %+v", got)
+	}
+	if got := s.Events(EventQuery{Limit: 2}); len(got) != 2 || got[1].TS != 2 {
+		t.Errorf("limit: %+v", got)
+	}
+	// Absent optional fields come back as -1, like the writer API.
+	ev := s.Events(EventQuery{Tenant: "a"})[0]
+	if ev.Flow != -1 || ev.From != -1 || ev.To != -1 || ev.Link != -1 {
+		t.Errorf("absent fields not -1: %+v", ev)
+	}
+}
+
+func TestParseQueries(t *testing.T) {
+	q, err := ParseWindowQuery(url.Values{
+		"tenant": {"a"}, "since": {"100"}, "until": {"200"},
+		"severity": {"warn"}, "limit": {"5"},
+	})
+	if err != nil || q.Tenant != "a" || q.Since != 100 || q.Until != 200 ||
+		q.MinSeverity != SevWarn || q.Limit != 5 {
+		t.Errorf("ParseWindowQuery = %+v, %v", q, err)
+	}
+	for _, bad := range []url.Values{
+		{"since": {"soon"}},
+		{"until": {"NaN"}},
+		{"severity": {"calamitous"}},
+		{"limit": {"many"}},
+		{"limit": {"-1"}},
+	} {
+		if _, err := ParseWindowQuery(bad); err == nil {
+			t.Errorf("ParseWindowQuery(%v) accepted", bad)
+		}
+	}
+	d, err := ParseDrillQuery(url.Values{"tenant": {"a"}, "start": {"900"}, "k": {"3"}})
+	if err != nil || d.Start != 900 || d.K != 3 {
+		t.Errorf("ParseDrillQuery = %+v, %v", d, err)
+	}
+	if _, err := ParseDrillQuery(url.Values{}); err == nil {
+		t.Error("ParseDrillQuery without start accepted")
+	}
+	if _, err := ParseDrillQuery(url.Values{"start": {"1"}, "k": {"-2"}}); err == nil {
+		t.Error("negative k accepted")
+	}
+	e, err := ParseEventQuery(url.Values{"span": {"sim"}, "flow": {"4"}, "link": {"9"}})
+	if err != nil || e.Span != "sim" || e.Flow == nil || *e.Flow != 4 || e.Link == nil || *e.Link != 9 {
+		t.Errorf("ParseEventQuery = %+v, %v", e, err)
+	}
+	e, err = ParseEventQuery(url.Values{})
+	if err != nil || e.Flow != nil || e.Link != nil {
+		t.Errorf("empty ParseEventQuery must leave actors nil: %+v, %v", e, err)
+	}
+	if _, err := ParseEventQuery(url.Values{"flow": {"seven"}}); err == nil {
+		t.Error("non-numeric flow accepted")
+	}
+	if _, err := ParseEventQuery(url.Values{"since": {"+Inf"}}); err == nil {
+		t.Error("infinite since accepted")
+	}
+}

@@ -1,0 +1,41 @@
+// Package metrics is the public surface of the response module's
+// runtime counters: zero-allocation atomic counters the simulator,
+// traffic-engineering controller and plan lifecycle manager increment
+// on their hot paths, plus a Prometheus text-format renderer.
+//
+//	rt := &metrics.Runtime{}
+//	s := simulate.New(topo, simulate.Opts{Metrics: rt})
+//	...
+//	metrics.WritePrometheus(w, []metrics.Labeled{{Tenant: "prod", Runtime: rt}})
+//
+// A nil *Runtime disables metering entirely — the hot paths skip the
+// increments, so untraced runs pay nothing. See DESIGN.md §11 for the
+// metric inventory.
+package metrics
+
+import (
+	"io"
+
+	im "response/internal/metrics"
+)
+
+type (
+	// Runtime bundles every runtime counter family; wire one into
+	// simulate.Opts.Metrics, ControllerOpts.Metrics or the lifecycle
+	// manager's Opts.Metrics.
+	Runtime = im.Runtime
+	// Labeled pairs a Runtime with its tenant label for rendering.
+	Labeled = im.Labeled
+	// Counter is a zero-allocation monotonic counter.
+	Counter = im.Counter
+	// FloatCounter is a zero-allocation monotonic float sum.
+	FloatCounter = im.FloatCounter
+	// Gauge is a zero-allocation last-value gauge.
+	Gauge = im.Gauge
+)
+
+// WritePrometheus renders every runtime in Prometheus text exposition
+// format (version 0.0.4), metric-major, skipping nil runtimes.
+func WritePrometheus(w io.Writer, sets []Labeled) error {
+	return im.WritePrometheus(w, sets)
+}

@@ -1,0 +1,92 @@
+// Package tracestore is the public surface of the response module's
+// trace store: an indexed, bounded-memory store over the runtime's
+// JSONL event traces (simulate.EventWriter streams, recorded files, or
+// controld's live per-tenant hub) serving progressive-disclosure
+// incident queries — search windows, per-link window summaries,
+// HITS-ranked energy-critical paths, and individual events.
+//
+//	s := tracestore.New(tracestore.Opts{})
+//	s.Ingest(file)
+//	for _, w := range s.Windows(tracestore.WindowQuery{MinSeverity: tracestore.SevCritical}) {
+//	    cp := s.CriticalPathQuery(w.Tenant, w.Start, 10)
+//	    ...
+//	}
+//
+// It is a thin re-export layer over the module's internal store; see
+// DESIGN.md §11 for the architecture, the query tiers and the
+// criticality scoring, and cmd/response-analyze's trace subcommand for
+// the CLI.
+package tracestore
+
+import (
+	itr "response/internal/tracestore"
+)
+
+// Core store types.
+type (
+	// Store is the indexed, bounded-memory trace store: one ingest
+	// goroutine, any number of query goroutines.
+	Store = itr.Store
+	// Opts parameterizes a Store: event-ring bound, per-tenant window
+	// bound and search-window width.
+	Opts = itr.Opts
+	// Stats reports the store's bookkeeping counters.
+	Stats = itr.Stats
+)
+
+// Query and result types, one pair per disclosure tier.
+type (
+	// Severity is a window's triage tier.
+	Severity = itr.Severity
+	// WindowQuery filters the tier-1 window search.
+	WindowQuery = itr.WindowQuery
+	// WindowSummary is one tier-1 search result.
+	WindowSummary = itr.WindowSummary
+	// WindowDetail is the tier-2 drill-down of one window.
+	WindowDetail = itr.WindowDetail
+	// LinkSummary is one affected link in a tier-2 drill-down.
+	LinkSummary = itr.LinkSummary
+	// CriticalPath is the tier-3 answer: links ranked by
+	// energy-criticality.
+	CriticalPath = itr.CriticalPath
+	// LinkScore is one ranked link of a CriticalPath.
+	LinkScore = itr.LinkScore
+	// EventQuery filters tier-4 individual event retrieval.
+	EventQuery = itr.EventQuery
+	// Event is one retrieved event, strings restored, absent actors -1.
+	Event = itr.Event
+	// DrillQuery addresses one window for the tier-2/3 drill-downs.
+	DrillQuery = itr.DrillQuery
+)
+
+// Severity tiers.
+const (
+	SevInfo     = itr.SevInfo
+	SevWarn     = itr.SevWarn
+	SevCritical = itr.SevCritical
+)
+
+// New builds a Store.
+func New(opts Opts) *Store { return itr.New(opts) }
+
+// ParseSeverity parses a severity name ("info", "warn", "critical";
+// empty means info).
+func ParseSeverity(v string) (Severity, bool) { return itr.ParseSeverity(v) }
+
+// ParseWindowQuery builds a tier-1 query from URL parameters: tenant,
+// since, until, severity, limit.
+func ParseWindowQuery(v map[string][]string) (WindowQuery, error) {
+	return itr.ParseWindowQuery(v)
+}
+
+// ParseDrillQuery builds a tier-2/3 query from URL parameters: tenant,
+// start (required), k.
+func ParseDrillQuery(v map[string][]string) (DrillQuery, error) {
+	return itr.ParseDrillQuery(v)
+}
+
+// ParseEventQuery builds a tier-4 query from URL parameters: tenant,
+// span, op, flow, link, since, until, limit.
+func ParseEventQuery(v map[string][]string) (EventQuery, error) {
+	return itr.ParseEventQuery(v)
+}
