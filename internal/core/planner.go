@@ -91,6 +91,13 @@ type PlanOpts struct {
 	// whose seed misses its tolerance fall back to the cold search, so
 	// warm planning never changes feasibility, only speed.
 	Warm *WarmStart
+	// PathEngine selects the point-to-point shortest-path solver for
+	// every search the plan issues (default: the reference Dijkstra).
+	// The goal-directed engines are certified-exact — they fall back to
+	// the reference engine on any query whose answer they cannot prove
+	// identical — so the resulting plan is bit-for-bit the same under
+	// every choice; only planning speed changes.
+	PathEngine spf.Engine
 	// Trace, when non-nil, receives human-readable planner tracing
 	// (per-round exclusion and sizing decisions).
 	Trace io.Writer
@@ -238,7 +245,7 @@ func PlanContext(ctx context.Context, t *topo.Topology, opts PlanOpts) (*Tables,
 	_, aonRouting, err := mcf.OptimalSubsetContext(ctx, t, lowDemands, opts.Model, mcf.OptimalOpts{
 		RandomRestarts: opts.RandomRestarts,
 		Seed:           opts.Seed,
-		Route:          mcf.RouteOpts{MaxUtil: opts.MaxUtil},
+		Route:          mcf.RouteOpts{MaxUtil: opts.MaxUtil, Engine: opts.PathEngine},
 		Check:          check,
 		Warm:           opts.Warm.stage(-1),
 	})
@@ -275,7 +282,7 @@ func PlanContext(ctx context.Context, t *topo.Topology, opts PlanOpts) (*Tables,
 	}
 
 	// ---- Failover paths (§4.3). ----
-	planFailover(t, tables)
+	planFailover(t, tables, opts.PathEngine)
 	opts.emit("failover", -1, rounds+2, total)
 
 	if err := tables.Validate(); err != nil {
@@ -333,7 +340,7 @@ func enforceLatencyBound(t *topo.Topology, tables *Tables, opts PlanOpts,
 		}
 		// Candidate replacement: among the latency-k-shortest paths
 		// within the bound, take the one activating the least new power.
-		cands := spf.KShortest(t, k[0], k[1], 8, spf.Options{})
+		cands := spf.KShortest(t, k[0], k[1], 8, spf.Options{Engine: opts.PathEngine})
 		var best topo.Path
 		bestCost := math.Inf(1)
 		for _, c := range cands {
@@ -439,7 +446,7 @@ func onDemandStress(ctx context.Context, t *topo.Topology, tables *Tables, opts 
 	// unavailable) — and size it near the largest routable load while
 	// avoiding the excluded links, derated to 80 % for slack.
 	deltaMax := mcf.MaxFeasibleScale(t, shape, mcf.RouteOpts{
-		MaxUtil: opts.MaxUtil, Avoid: avoid,
+		MaxUtil: opts.MaxUtil, Avoid: avoid, Engine: opts.PathEngine,
 	}, 0.05)
 	sizing := traffic.Uniform(opts.Nodes, opts.Epsilon)
 	if deltaMax > 0 {
@@ -460,7 +467,7 @@ func onDemandStress(ctx context.Context, t *topo.Topology, tables *Tables, opts 
 		RandomRestarts: opts.RandomRestarts,
 		Seed:           opts.Seed + 1,
 		KeepOn:         tables.AlwaysOnSet,
-		Route:          mcf.RouteOpts{MaxUtil: opts.MaxUtil, Avoid: avoid},
+		Route:          mcf.RouteOpts{MaxUtil: opts.MaxUtil, Avoid: avoid, Engine: opts.PathEngine},
 		Warm:           opts.Warm.stage(round),
 	})
 	if err != nil {
@@ -474,7 +481,7 @@ func onDemandStress(ctx context.Context, t *topo.Topology, tables *Tables, opts 
 			RandomRestarts: opts.RandomRestarts,
 			Seed:           opts.Seed + 1,
 			KeepOn:         tables.AlwaysOnSet,
-			Route:          mcf.RouteOpts{MaxUtil: opts.MaxUtil},
+			Route:          mcf.RouteOpts{MaxUtil: opts.MaxUtil, Engine: opts.PathEngine},
 		})
 		if err != nil {
 			return nil, err
@@ -496,7 +503,7 @@ func onDemandSolver(ctx context.Context, t *topo.Topology, tables *Tables, opts 
 		RandomRestarts: opts.RandomRestarts,
 		Seed:           opts.Seed + int64(round)*13,
 		KeepOn:         tables.AlwaysOnSet,
-		Route:          mcf.RouteOpts{MaxUtil: opts.MaxUtil, Avoid: avoid},
+		Route:          mcf.RouteOpts{MaxUtil: opts.MaxUtil, Avoid: avoid, Engine: opts.PathEngine},
 		Warm:           opts.Warm.stage(round),
 	})
 	if err != nil {
@@ -529,7 +536,7 @@ func onDemandOSPF(t *topo.Topology, tables *Tables, round int) (map[[2]topo.Node
 // the peak is derated step-wise until the packer finds a routing; the
 // resulting table is designed for the largest k-routable share of peak.
 func onDemandHeuristic(t *topo.Topology, tables *Tables, opts PlanOpts) (map[[2]topo.NodeID]topo.Path, error) {
-	cands := mcf.CandidatePaths(t, opts.PeakTM.Demands(), 5)
+	cands := mcf.CandidatePathsEngine(t, opts.PeakTM.Demands(), 5, opts.PathEngine)
 	var lastErr error
 	for _, derate := range []float64{1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2} {
 		_, routing, err := mcf.KShortestSubset(t, opts.PeakTM.Scale(derate).Demands(),
@@ -564,11 +571,12 @@ func pathsByPair(tables *Tables, r *mcf.Routing) (map[[2]topo.NodeID]topo.Path, 
 // pair's always-on and on-demand paths (§4.3): strictly disjoint when
 // the graph allows it, otherwise the minimum-overlap path via a heavy
 // penalty on reused links.
-func planFailover(t *topo.Topology, tables *Tables) {
+func planFailover(t *topo.Topology, tables *Tables, eng spf.Engine) {
 	ws := spf.NewWorkspace()
 	used := make([]bool, t.NumLinks())
 	avoidUsed := spf.Options{
-		Avoid: func(a topo.Arc) bool { return used[a.Link] },
+		Avoid:  func(a topo.Arc) bool { return used[a.Link] },
+		Engine: eng,
 	}
 	penalizeUsed := spf.Options{
 		Weight: func(a topo.Arc) float64 {
@@ -578,6 +586,8 @@ func planFailover(t *topo.Topology, tables *Tables) {
 			}
 			return w
 		},
+		Engine:       eng,
+		LatencyBound: true,
 	}
 	for _, k := range tables.PairKeys() {
 		ps := tables.Pairs[k]

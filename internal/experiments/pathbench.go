@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"response/internal/spf"
+	"response/internal/topo"
+	"response/internal/topogen"
+)
+
+// PathPoint is one instance × engine cell of the path-engine benchmark:
+// the wall-clock cost of a fixed point-to-point K-shortest query
+// workload through the reference engine versus a goal-directed one,
+// with every answer cross-checked for byte equality along the way.
+type PathPoint struct {
+	Family string `json:"family"`
+	Size   int    `json:"size"`
+	Engine string `json:"engine"`
+
+	Nodes   int `json:"nodes"`
+	Queries int `json:"queries"`
+	K       int `json:"k"`
+
+	RefMs float64 `json:"ref_ms"`
+	EngMs float64 `json:"eng_ms"`
+	// Speedup is RefMs / EngMs — above 1 the goal-directed engine wins.
+	Speedup float64 `json:"speedup"`
+	// Mismatches counts queries whose engine answer differed from the
+	// reference answer. The engines are certified-exact, so any nonzero
+	// value is a bug and fails the bench harness.
+	Mismatches int `json:"mismatches"`
+}
+
+// PathBench is the result of RunPathBench, emitted by
+// cmd/response-bench -paths.
+type PathBench struct {
+	Points []PathPoint `json:"points"`
+}
+
+// Mismatches sums the cross-check failures over all points.
+func (b PathBench) Mismatches() int {
+	var n int
+	for _, p := range b.Points {
+		n += p.Mismatches
+	}
+	return n
+}
+
+// WorstSpeedup returns the smallest speedup over points matching the
+// given family and size (0 selects every size) — the number CI gates
+// on: below 1.0 the goal-directed engines lose outright.
+func (b PathBench) WorstSpeedup(family string, size int) float64 {
+	worst := 0.0
+	first := true
+	for _, p := range b.Points {
+		if family != "" && p.Family != family {
+			continue
+		}
+		if size != 0 && p.Size != size {
+			continue
+		}
+		if first || p.Speedup < worst {
+			worst, first = p.Speedup, false
+		}
+	}
+	return worst
+}
+
+// Print writes the bench as a table.
+func (b PathBench) Print(w io.Writer) {
+	fmt.Fprintf(w, "Path-engine K-shortest benchmark (%d cells)\n", len(b.Points))
+	fmt.Fprintf(w, "  %-10s %5s %6s %8s %3s %10s %10s %8s %5s\n",
+		"family", "size", "nodes", "queries", "k", "ref ms", "eng ms", "speedup", "miss")
+	for _, p := range b.Points {
+		fmt.Fprintf(w, "  %-10s %5d %6d %8d %3d %10.1f %10.1f %7.1fx %5d\n",
+			p.Family, p.Size, p.Nodes, p.Queries, p.K, p.RefMs, p.EngMs, p.Speedup, p.Mismatches)
+	}
+}
+
+// WriteJSON writes the bench as indented JSON.
+func (b PathBench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// pathBenchPairs samples a deterministic ordered-pair workload from the
+// instance's endpoint universe.
+func pathBenchPairs(endpoints []topo.NodeID, limit int, seed int64) [][2]topo.NodeID {
+	n := len(endpoints)
+	var out [][2]topo.NodeID
+	if n*(n-1) <= limit {
+		for _, o := range endpoints {
+			for _, d := range endpoints {
+				if o != d {
+					out = append(out, [2]topo.NodeID{o, d})
+				}
+			}
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[[2]topo.NodeID]bool{}
+	for len(out) < limit {
+		o := endpoints[rng.Intn(n)]
+		d := endpoints[rng.Intn(n)]
+		key := [2]topo.NodeID{o, d}
+		if o == d || seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, key)
+	}
+	return out
+}
+
+// runPathWorkload runs the K-shortest workload through one engine and
+// returns the results plus the best-of-repeats wall time. One
+// workspace serves the whole workload, as in the planner: landmark
+// construction and the adaptive-bailout state are part of the engine's
+// measured cost, amortized across queries exactly as production
+// amortizes them.
+func runPathWorkload(t *topo.Topology, pairs [][2]topo.NodeID, k, repeats int,
+	eng spf.Engine) ([][]topo.Path, time.Duration) {
+
+	opts := spf.Options{Engine: eng}
+	best := time.Duration(1<<63 - 1)
+	var out [][]topo.Path
+	for r := 0; r < repeats; r++ {
+		ws := spf.NewWorkspace()
+		res := make([][]topo.Path, len(pairs))
+		start := time.Now()
+		for i, pr := range pairs {
+			res[i] = ws.KShortest(t, pr[0], pr[1], k, opts)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+		out = res
+	}
+	return out, best
+}
+
+// RunPathBench times a fixed point-to-point K-shortest workload on
+// each instance of a "family:size[,…]" spec through the reference
+// engine and each goal-directed engine, cross-checking every answer.
+// The workload is maxQueries ordered endpoint pairs (default 120) at
+// k=4; each cell reports the best of `repeats` passes (default 3) so
+// scheduler noise cannot manufacture a loss.
+func RunPathBench(spec string, maxQueries, repeats int) (PathBench, error) {
+	if maxQueries <= 0 {
+		maxQueries = 120
+	}
+	if repeats <= 0 {
+		repeats = 3
+	}
+	const k = 4
+	configs, err := parseWarmSpecs(spec)
+	if err != nil {
+		return PathBench{}, err
+	}
+	var bench PathBench
+	for _, cfg := range configs {
+		inst, err := topogen.Generate(cfg)
+		if err != nil {
+			return bench, fmt.Errorf("pathbench %s-%d: %w", cfg.Family, cfg.Size, err)
+		}
+		pairs := pathBenchPairs(inst.Endpoints, maxQueries, cfg.Seed)
+		refRes, refBest := runPathWorkload(inst.Topo, pairs, k, repeats, spf.EngineReference)
+		for _, eng := range []spf.Engine{spf.EngineALT, spf.EngineBidirectional} {
+			engRes, engBest := runPathWorkload(inst.Topo, pairs, k, repeats, eng)
+			pt := PathPoint{
+				Family: string(cfg.Family), Size: cfg.Size, Engine: eng.String(),
+				Nodes: inst.Topo.NumNodes(), Queries: len(pairs), K: k,
+				RefMs: float64(refBest.Microseconds()) / 1000,
+				EngMs: float64(engBest.Microseconds()) / 1000,
+			}
+			if pt.EngMs > 0 {
+				pt.Speedup = pt.RefMs / pt.EngMs
+			}
+			for i := range refRes {
+				if !samePathSet(refRes[i], engRes[i]) {
+					pt.Mismatches++
+				}
+			}
+			bench.Points = append(bench.Points, pt)
+		}
+	}
+	return bench, nil
+}
+
+// samePathSet reports whether two K-shortest answers agree exactly:
+// same count, same arc sequences, same emission order.
+func samePathSet(a, b []topo.Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i].Arcs) != len(b[i].Arcs) {
+			return false
+		}
+		for j := range a[i].Arcs {
+			if a[i].Arcs[j] != b[i].Arcs[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

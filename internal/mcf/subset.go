@@ -31,11 +31,13 @@ type WarmStart struct {
 	Active *topo.ActiveSet
 	// Tolerance gates acceptance of the warm descent: the result is
 	// kept iff its power is ≤ (1+Tolerance) × the seed's pre-repair
-	// power. Since the descent only removes elements, the gate fails
-	// only when feasibility repair had to grow the seed beyond the
-	// tolerance — the signal that the seed no longer represents the
-	// current inputs. Zero selects DefaultWarmTolerance; a negative
-	// value always accepts.
+	// power. Since the descent only removes elements, the gate can
+	// fail only when feasibility repair had to grow the seed beyond
+	// the tolerance — the signal that the seed no longer represents
+	// the current inputs — and in that case the search bails to the
+	// cold pool immediately after repair rather than paying for a
+	// near-cold descent it would almost certainly reject. Zero
+	// selects DefaultWarmTolerance; a negative value always accepts.
 	Tolerance float64
 }
 
@@ -361,9 +363,13 @@ func hopelessLinks(t *topo.Topology, active *topo.ActiveSet, r *Routing) []bool 
 // warmSubset attempts the warm-started descent: repair the seed to
 // feasibility, order candidates by ascending energy-criticality, prune
 // hopeless bridges, descend once, and accept iff the result's power is
-// within the seed's tolerance. ok=false sends the caller to the cold
-// restart pool (unusable seed, Check rejection, or tolerance miss);
-// err is only a context cancellation.
+// within the seed's tolerance. When repair alone already grows the
+// seed past the tolerance the descent is skipped outright — its cost
+// rivals a cold search (which at least runs its orderings in parallel)
+// while its starting point has provably lost the seed's benefit.
+// ok=false sends the caller to the cold restart pool (unusable seed,
+// Check rejection, or tolerance miss); err is only a context
+// cancellation.
 func warmSubset(ctx context.Context, t *topo.Topology, sorted []traffic.Demand,
 	m power.Model, opts OptimalOpts) (*topo.ActiveSet, *Routing, bool, error) {
 
@@ -381,6 +387,17 @@ func warmSubset(ctx context.Context, t *topo.Topology, sorted []traffic.Demand,
 		return nil, nil, false, ctx.Err()
 	}
 	if s.check != nil && s.check(routing) != nil {
+		return nil, nil, false, nil
+	}
+	if tol := opts.Warm.tolerance(); tol >= 0 && !fresh &&
+		power.NetworkWatts(t, m, hint) > (1+tol)*seedWatts+1e-9 {
+		// Feasibility repair had to grow the seed past the acceptance
+		// gate: the demands drifted too far for the seed to describe
+		// them, and a descent from the bloated hint is a near-cold
+		// search whose result would start from — and rarely recover
+		// below — the tolerance it already busted. Bail before paying
+		// for it and let the cold restart pool (which runs its
+		// orderings concurrently) handle the stage.
 		return nil, nil, false, nil
 	}
 

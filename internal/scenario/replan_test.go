@@ -11,10 +11,14 @@ import (
 // (500 flows, 6 simulated hours): the controller action sequence
 // including the retarget/handoff/retire ops of every hot swap. A
 // change here means the closed loop — deviation trigger, background
-// replan, gating, table hot-swap — changed behavior.
+// replan, gating, table hot-swap — changed behavior. Seed 2 was
+// re-pinned when the warm subset search gained its early bail (a
+// repair that outgrows the warm tolerance now sends the replan to
+// the cold pool instead of descending first; one of seed 2's
+// deviation replans takes that path).
 const (
 	replanFingerprintSeed1 = 0xdef13e8d3ba8dd0d
-	replanFingerprintSeed2 = 0xa2a923db1746e3de
+	replanFingerprintSeed2 = 0xd6f998ce53cf6cd3
 )
 
 var replanSmall = Config{Flows: 500, Duration: 6 * 3600}

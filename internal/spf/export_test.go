@@ -1,0 +1,9 @@
+package spf
+
+import "response/internal/topo"
+
+// TargetBoundForTest exposes the ALT heuristic to the external test
+// package for the admissibility and monotonicity property tests.
+func TargetBoundForTest(t *topo.Topology, lm *Landmarks, v, d topo.NodeID) float64 {
+	return targetBound(t, lm, v, d)
+}

@@ -1,0 +1,284 @@
+package spf_test
+
+// Differential, metamorphic and property tests for the goal-directed
+// path engines. The certified engines promise byte-identical results to
+// the reference engine on every query — these tests check that promise
+// per query across the generator families, option variants (active
+// subsets, avoid sets, load-style weights) and engine choices; the
+// whole-plan check lives in internal/verify's DiffPathEngine oracle.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"response/internal/spf"
+	"response/internal/topo"
+	"response/internal/topogen"
+)
+
+type engCase struct {
+	fam  topogen.Family
+	size int
+}
+
+var engCases = []engCase{
+	{topogen.FamilyFatTree, 4},
+	{topogen.FamilyWaxman, 30},
+	{topogen.FamilyWaxman, 60},
+	{topogen.FamilyRing, 10},
+	{topogen.FamilyTorus, 3},
+	{topogen.FamilyISP, 3},
+}
+
+func genTopo(t testing.TB, fam topogen.Family, size int, seed int64) *topogen.Instance {
+	t.Helper()
+	inst, err := topogen.Generate(topogen.Config{Family: fam, Size: size, Seed: seed})
+	if err != nil {
+		t.Fatalf("generate %s:%d: %v", fam, size, err)
+	}
+	return inst
+}
+
+// pairSample returns deterministic endpoint pairs for an instance.
+func pairSample(inst *topogen.Instance, rng *rand.Rand, n int) [][2]topo.NodeID {
+	eps := inst.Endpoints
+	var out [][2]topo.NodeID
+	for i := 0; i < n && len(eps) >= 2; i++ {
+		o := eps[rng.Intn(len(eps))]
+		d := eps[rng.Intn(len(eps))]
+		if o == d {
+			continue
+		}
+		out = append(out, [2]topo.NodeID{o, d})
+	}
+	return out
+}
+
+// loadStyleWeight mimics the planner's load-penalized latency weight:
+// per-arc factor ≥ 1 over latency, so LatencyBound holds.
+func loadStyleWeight() spf.WeightFunc {
+	return func(a topo.Arc) float64 {
+		return a.Latency * (1 + 0.3*float64(a.ID%5))
+	}
+}
+
+// optionVariants are the Options shapes the planner actually issues,
+// minus the engine selection (filled in by the caller).
+func optionVariants(t *topo.Topology, seed int64) map[string]spf.Options {
+	rng := rand.New(rand.NewSource(seed))
+	partial := topo.AllOn(t)
+	for l := range partial.Link {
+		if rng.Intn(5) == 0 {
+			partial.Link[l] = false
+		}
+	}
+	partial.EnforceInvariants(t)
+	avoided := map[topo.LinkID]bool{}
+	for l := 0; l < t.NumLinks(); l++ {
+		if rng.Intn(7) == 0 {
+			avoided[topo.LinkID(l)] = true
+		}
+	}
+	return map[string]spf.Options{
+		"plain":  {},
+		"active": {Active: partial},
+		"avoid":  {Avoid: func(a topo.Arc) bool { return avoided[a.Link] }},
+		"load":   {Weight: loadStyleWeight(), LatencyBound: true},
+	}
+}
+
+func samePaths(a, b []topo.Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i].Arcs) != len(b[i].Arcs) {
+			return false
+		}
+		for j := range a[i].Arcs {
+			if a[i].Arcs[j] != b[i].Arcs[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestEnginesMatchReference is the per-query differential test: every
+// engine must return exactly the reference engine's paths — same arcs,
+// same order — for single-pair and K-shortest queries under every
+// option variant.
+func TestEnginesMatchReference(t *testing.T) {
+	engines := []spf.Engine{spf.EngineALT, spf.EngineBidirectional}
+	for _, c := range engCases {
+		for seed := int64(1); seed <= 2; seed++ {
+			inst := genTopo(t, c.fam, c.size, seed)
+			g := inst.Topo
+			rng := rand.New(rand.NewSource(seed * 977))
+			pairs := pairSample(inst, rng, 25)
+			for name, base := range optionVariants(g, seed) {
+				for _, pair := range pairs {
+					o, d := pair[0], pair[1]
+					refPaths := spf.KShortest(g, o, d, 4, base)
+					refP, refOK := spf.ShortestPath(g, o, d, base)
+					for _, eng := range engines {
+						opts := base
+						opts.Engine = eng
+						// Fresh workspace per query: the adaptive
+						// bailout must not skip attempts mid-test.
+						ws := spf.NewWorkspace()
+						gotP, gotOK := ws.ShortestPath(g, o, d, opts)
+						if gotOK != refOK || !samePaths([]topo.Path{gotP}, []topo.Path{refP}) {
+							t.Fatalf("%s:%d seed %d %s %v→%v engine %v: ShortestPath diverged\nref %v (%v)\ngot %v (%v)",
+								c.fam, c.size, seed, name, o, d, eng, refP.Arcs, refOK, gotP.Arcs, gotOK)
+						}
+						got := ws.KShortest(g, o, d, 4, opts)
+						if !samePaths(refPaths, got) {
+							t.Fatalf("%s:%d seed %d %s %v→%v engine %v: KShortest diverged\nref %v\ngot %v",
+								c.fam, c.size, seed, name, o, d, eng, pathArcs(refPaths), pathArcs(got))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func pathArcs(ps []topo.Path) [][]topo.ArcID {
+	out := make([][]topo.ArcID, len(ps))
+	for i, p := range ps {
+		out[i] = p.Arcs
+	}
+	return out
+}
+
+// TestAdmissibility property-tests the landmark heuristic: on 20 seeds
+// per family, sampled lower bounds never exceed the true latency
+// distance.
+func TestAdmissibility(t *testing.T) {
+	for _, c := range engCases {
+		for seed := int64(1); seed <= 20; seed++ {
+			inst := genTopo(t, c.fam, c.size, seed)
+			g := inst.Topo
+			lm := spf.LandmarksFor(g)
+			rng := rand.New(rand.NewSource(seed))
+			ws := spf.NewWorkspace()
+			for _, pair := range pairSample(inst, rng, 10) {
+				o, d := pair[0], pair[1]
+				ws.ShortestTree(g, o, spf.Options{})
+				true2 := ws.Dist(d)
+				if math.IsInf(true2, 1) {
+					continue
+				}
+				h := spf.TargetBoundForTest(g, lm, o, d)
+				if h > true2*(1+1e-9)+1e-12 {
+					t.Fatalf("%s:%d seed %d: bound %v exceeds true distance %v for %v→%v",
+						c.fam, c.size, seed, h, true2, o, d)
+				}
+			}
+		}
+	}
+}
+
+// TestLandmarkSubsetMonotonicity: adding landmarks can only tighten the
+// bound (the bound is a max over per-landmark terms).
+func TestLandmarkSubsetMonotonicity(t *testing.T) {
+	for _, c := range engCases {
+		inst := genTopo(t, c.fam, c.size, 1)
+		g := inst.Topo
+		lm := spf.LandmarksFor(g)
+		rng := rand.New(rand.NewSource(42))
+		for _, pair := range pairSample(inst, rng, 15) {
+			o, d := pair[0], pair[1]
+			last := 0.0
+			for k := 0; k <= lm.Count(); k++ {
+				h := spf.TargetBoundForTest(g, lm.Subset(k), o, d)
+				if h+1e-12 < last {
+					t.Fatalf("%s:%d %v→%v: bound loosened from %v to %v at %d landmarks",
+						c.fam, c.size, o, d, last, h, k)
+				}
+				last = h
+			}
+		}
+	}
+}
+
+// TestUniformScalingPreservesPaths: scaling all weights by a constant
+// preserves every engine's chosen paths (metamorphic).
+func TestUniformScalingPreservesPaths(t *testing.T) {
+	for _, c := range engCases {
+		inst := genTopo(t, c.fam, c.size, 1)
+		g := inst.Topo
+		rng := rand.New(rand.NewSource(7))
+		for _, eng := range []spf.Engine{spf.EngineReference, spf.EngineALT, spf.EngineBidirectional} {
+			base := spf.Options{Engine: eng}
+			scaled := spf.Options{
+				Engine: eng,
+				// 2.5ˣ scaling is exact in binary floating point, so
+				// even tie structure is preserved.
+				Weight:       func(a topo.Arc) float64 { return a.Latency * 4 },
+				LatencyBound: true,
+			}
+			for _, pair := range pairSample(inst, rng, 10) {
+				o, d := pair[0], pair[1]
+				a := spf.KShortest(g, o, d, 3, base)
+				b := spf.KShortest(g, o, d, 3, scaled)
+				if !samePaths(a, b) {
+					t.Fatalf("%s:%d engine %v %v→%v: scaled weights changed paths", c.fam, c.size, eng, o, d)
+				}
+			}
+		}
+	}
+}
+
+// TestRelabelingPreservesDistances: rebuilding the topology with
+// permuted node insertion order (fresh IDs) must preserve pairwise
+// distances (metamorphic: distance is a graph property, not an ID
+// property).
+func TestRelabelingPreservesDistances(t *testing.T) {
+	inst := genTopo(t, topogen.FamilyWaxman, 24, 3)
+	g := inst.Topo
+	perm, remap := relabel(g, 99)
+	for _, eng := range []spf.Engine{spf.EngineReference, spf.EngineALT, spf.EngineBidirectional} {
+		ws, ws2 := spf.NewWorkspace(), spf.NewWorkspace()
+		rng := rand.New(rand.NewSource(5))
+		for _, pair := range pairSample(inst, rng, 15) {
+			o, d := pair[0], pair[1]
+			opts := spf.Options{Engine: eng}
+			p1, ok1 := ws.ShortestPath(g, o, d, opts)
+			p2, ok2 := ws2.ShortestPath(perm, remap[o], remap[d], opts)
+			if ok1 != ok2 {
+				t.Fatalf("engine %v %v→%v: reachability changed under relabeling", eng, o, d)
+			}
+			if !ok1 {
+				continue
+			}
+			w1 := spf.PathWeight(g, p1, spf.Options{})
+			w2 := spf.PathWeight(perm, p2, spf.Options{})
+			if math.Abs(w1-w2) > 1e-9*(1+w1) {
+				t.Fatalf("engine %v %v→%v: distance changed under relabeling: %v vs %v", eng, o, d, w1, w2)
+			}
+		}
+	}
+}
+
+// relabel rebuilds g with nodes inserted in a permuted order, returning
+// the new topology and old→new node ID mapping.
+func relabel(g *topo.Topology, seed int64) (*topo.Topology, map[topo.NodeID]topo.NodeID) {
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(g.NumNodes())
+	nt := topo.New(fmt.Sprintf("%s-relabeled", g.Name))
+	remap := make(map[topo.NodeID]topo.NodeID, g.NumNodes())
+	for _, i := range order {
+		n := g.Node(topo.NodeID(i))
+		remap[n.ID] = nt.AddNode(fmt.Sprintf("r%d", i), n.Kind)
+	}
+	for l := 0; l < g.NumLinks(); l++ {
+		lk := g.Link(topo.LinkID(l))
+		ab := g.Arc(lk.AB)
+		nt.AddLink(remap[lk.A], remap[lk.B], ab.Capacity, ab.Latency)
+	}
+	return nt, remap
+}

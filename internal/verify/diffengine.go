@@ -1,0 +1,161 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"response/internal/spf"
+	"response/internal/topo"
+)
+
+// DiffPathEngine is the differential oracle for the goal-directed path
+// engines: it replays a deterministic query workload — single-pair and
+// K-shortest searches over the instance's endpoint universe, under the
+// option shapes the planner actually issues (plain latency, powered-down
+// subsets, avoid sets, load-penalized weights) — once through the
+// reference engine and once through eng, and reports a violation for
+// any divergence in reachability verdict, path weight, arc sequence or
+// candidate emission order. The goal-directed engines are designed to
+// be certified-exact, so the expectation is byte equality, not
+// approximate equality; the companion whole-plan check (identical plan
+// fingerprints under every engine) lives in the corpus tests.
+//
+// maxPairs caps the ordered endpoint pairs exercised (≤ 0 selects 64);
+// pairs beyond the cap are sampled deterministically from seed.
+func DiffPathEngine(t *topo.Topology, endpoints []topo.NodeID, eng spf.Engine, k, maxPairs int, seed int64) *Report {
+	r := &Report{Name: fmt.Sprintf("diff-path-engine/%s/%s", t.Name, eng)}
+	if k <= 0 {
+		k = 4
+	}
+	if maxPairs <= 0 {
+		maxPairs = 64
+	}
+	pairs := enginePairs(endpoints, maxPairs, seed)
+	if len(pairs) == 0 {
+		r.addf("path-engine-queries", "no endpoint pairs to exercise on %s", t.Name)
+		return r
+	}
+	for _, v := range engineVariants(t, seed) {
+		refWS, engWS := spf.NewWorkspace(), spf.NewWorkspace()
+		sub := v.opts
+		sub.Engine = eng
+		for _, pr := range pairs {
+			o, d := pr[0], pr[1]
+			refP, refOK := refWS.ShortestPath(t, o, d, v.opts)
+			gotP, gotOK := engWS.ShortestPath(t, o, d, sub)
+			if refOK != gotOK {
+				r.addf("path-engine-verdict", "%s %v→%v: engine %s verdict %v, reference %v",
+					v.name, o, d, eng, gotOK, refOK)
+				continue
+			}
+			if refOK && !sameArcSeq(refP.Arcs, gotP.Arcs) {
+				r.addf("path-engine-path", "%s %v→%v: engine %s path %v, reference %v",
+					v.name, o, d, eng, gotP.Arcs, refP.Arcs)
+				continue
+			}
+			if refOK {
+				rw := spf.PathWeight(t, refP, v.opts)
+				gw := spf.PathWeight(t, gotP, v.opts)
+				if rw != gw {
+					r.addf("path-engine-distance", "%s %v→%v: engine %s distance %v, reference %v",
+						v.name, o, d, eng, gw, rw)
+				}
+			}
+			refK := refWS.KShortest(t, o, d, k, v.opts)
+			gotK := engWS.KShortest(t, o, d, k, sub)
+			if len(refK) != len(gotK) {
+				r.addf("path-engine-kcount", "%s %v→%v k=%d: engine %s returned %d paths, reference %d",
+					v.name, o, d, k, eng, len(gotK), len(refK))
+				continue
+			}
+			for i := range refK {
+				if !sameArcSeq(refK[i].Arcs, gotK[i].Arcs) {
+					r.addf("path-engine-korder", "%s %v→%v k=%d rank %d: engine %s path %v, reference %v",
+						v.name, o, d, k, i, eng, gotK[i].Arcs, refK[i].Arcs)
+					break
+				}
+			}
+		}
+	}
+	return r
+}
+
+// enginePairs enumerates ordered endpoint pairs, sampling down to limit
+// deterministically when the full cross product is larger.
+func enginePairs(endpoints []topo.NodeID, limit int, seed int64) [][2]topo.NodeID {
+	n := len(endpoints)
+	total := n * (n - 1)
+	out := make([][2]topo.NodeID, 0, limit)
+	if total <= limit {
+		for _, o := range endpoints {
+			for _, d := range endpoints {
+				if o != d {
+					out = append(out, [2]topo.NodeID{o, d})
+				}
+			}
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[[2]topo.NodeID]bool{}
+	for len(out) < limit && len(seen) < total {
+		o := endpoints[rng.Intn(n)]
+		d := endpoints[rng.Intn(n)]
+		key := [2]topo.NodeID{o, d}
+		if o == d || seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, key)
+	}
+	return out
+}
+
+// engineVariant is one Options shape of the differential workload.
+type engineVariant struct {
+	name string
+	opts spf.Options
+}
+
+// engineVariants mirrors the option shapes the planning stack issues:
+// plain latency (always-on + failover searches), a powered-down active
+// subset (subset-search trials), an avoid set (stress exclusion and
+// failure scenarios), and a ≥-latency load-style weight (the
+// feasibility router's penalized searches).
+func engineVariants(t *topo.Topology, seed int64) []engineVariant {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	partial := topo.AllOn(t)
+	for l := range partial.Link {
+		if rng.Intn(5) == 0 {
+			partial.Link[l] = false
+		}
+	}
+	partial.EnforceInvariants(t)
+	avoided := make([]bool, t.NumLinks())
+	for l := range avoided {
+		if rng.Intn(7) == 0 {
+			avoided[l] = true
+		}
+	}
+	return []engineVariant{
+		{name: "plain", opts: spf.Options{}},
+		{name: "active-subset", opts: spf.Options{Active: partial}},
+		{name: "avoid-set", opts: spf.Options{Avoid: func(a topo.Arc) bool { return avoided[a.Link] }}},
+		{name: "load-weight", opts: spf.Options{
+			Weight:       func(a topo.Arc) float64 { return a.Latency * (1 + 0.25*float64(a.ID%7)) },
+			LatencyBound: true,
+		}},
+	}
+}
+
+func sameArcSeq(a, b []topo.ArcID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
